@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Regenerates paper fig. 11(c): throughput of quantum task sets on the
+ * Surf-Deformer layout versus the Q3DE layout versus the no-defect
+ * lattice-surgery optimum, as the dynamic defect rate grows. 100 logical
+ * qubits; three task sets of five 25-CNOT tasks on 50 distinct qubits.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "surgery/throughput.hh"
+
+using namespace surf;
+
+int
+main(int argc, char **argv)
+{
+    const double scale = benchutil::scale(argc, argv);
+    const int reps = std::max(1, static_cast<int>(8 * scale));
+    benchutil::header("Fig. 11(c): task-set throughput vs defect rate");
+    std::printf("100 logical qubits; 5 tasks x 25 CNOTs on 50 qubits; "
+                "%d defect samples per point\n\n", reps);
+    std::printf("%-10s %-8s | %-10s %-10s %-10s\n", "rate", "taskset",
+                "LS(no-def)", "Q3DE", "Surf-Def");
+
+    for (double rate : {0.0, 0.5e-4, 1.0e-4, 1.5e-4, 2.0e-4}) {
+        for (int set = 0; set < 3; ++set) {
+            const auto tasks =
+                makeTaskSet(100, 5, 25, 50,
+                            1000 + static_cast<uint64_t>(set));
+            double thr[3] = {0, 0, 0};
+            for (int r = 0; r < reps; ++r) {
+                ThroughputConfig cfg;
+                cfg.defectRatePerQubitStep = rate;
+                cfg.seed = 77 + static_cast<uint64_t>(r) * 13 +
+                           static_cast<uint64_t>(set);
+                cfg.strategy = Strategy::LatticeSurgery;
+                cfg.defectRatePerQubitStep = 0.0; // optimum baseline
+                thr[0] += simulateThroughput(tasks, cfg).throughput;
+                cfg.defectRatePerQubitStep = rate;
+                cfg.strategy = Strategy::Q3de;
+                thr[1] += simulateThroughput(tasks, cfg).throughput;
+                cfg.strategy = Strategy::SurfDeformer;
+                thr[2] += simulateThroughput(tasks, cfg).throughput;
+            }
+            std::printf("%-10.1e task%-4d | %-10.3f %-10.3f %-10.3f\n",
+                        rate, set + 1, thr[0] / reps, thr[1] / reps,
+                        thr[2] / reps);
+        }
+    }
+    std::printf("\nExpected shape (paper): Q3DE throughput collapses with\n"
+                "the defect rate (blocked ancilla channels); Surf-Deformer\n"
+                "stays near the no-defect optimum.\n");
+    return 0;
+}

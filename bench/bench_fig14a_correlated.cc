@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Regenerates paper fig. 14(a): robustness to elevated correlated
+ * two-qubit gate errors. Logical error rate of a distance-9 code with k
+ * defective qubits, untreated versus Surf-Deformer-removed, for
+ * correlated 2q rates in {1e-3, 2e-3, 4e-3}.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "core/deformation_unit.hh"
+#include "decode/memory_experiment.hh"
+#include "defects/defect_sampler.hh"
+#include "lattice/rotated.hh"
+#include "util/rng.hh"
+
+using namespace surf;
+
+namespace {
+
+std::set<Coord>
+clusteredDefects(const CodePatch &p, int k, Rng &rng)
+{
+    std::set<Coord> sites;
+    while (static_cast<int>(sites.size()) < k) {
+        const Coord center{
+            p.xMin() + static_cast<int>(rng.below(static_cast<uint64_t>(
+                           p.xMax() - p.xMin() + 1))),
+            p.yMin() + static_cast<int>(rng.below(static_cast<uint64_t>(
+                           p.yMax() - p.yMin() + 1)))};
+        for (const Coord &c : DefectSampler::regionSites(center, 2)) {
+            if (static_cast<int>(sites.size()) >= k)
+                break;
+            if (c.x >= p.xMin() && c.x <= p.xMax() && c.y >= p.yMin() &&
+                c.y <= p.yMax())
+                sites.insert(c);
+        }
+    }
+    return sites;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const double scale = benchutil::scale(argc, argv);
+    const int d = 9;
+    benchutil::header("Fig. 14(a): robustness to correlated 2q errors "
+                      "(d=9)");
+    std::printf("%-10s %4s | %-16s %-16s\n", "p_corr", "#def",
+                "untreated", "Surf-Deformer");
+
+    Rng rng(31337);
+    for (double pc : {1e-3, 2e-3, 4e-3}) {
+        for (int k : {4, 12, 20}) {
+            const CodePatch pristine = squarePatch(d);
+            const auto defects = clusteredDefects(pristine, k, rng);
+
+            MemoryExperimentConfig cfg;
+            cfg.spec.rounds = d;
+            cfg.noise.p = 1e-3;
+            cfg.noise.pCorrelated2q = pc;
+            cfg.noise.defectiveSites = defects;
+            cfg.maxShots = static_cast<uint64_t>(5000 * scale);
+            cfg.targetFailures = static_cast<uint64_t>(60 * scale);
+            cfg.seed = 11 + k;
+            const auto untreated = runMemoryExperiment(pristine, cfg);
+
+            DeformConfig dc;
+            dc.d = d;
+            dc.deltaD = 0;
+            dc.enlargement = false;
+            const auto deformed = DeformationUnit(dc).apply(defects);
+            double sd_rate = 0.5;
+            if (deformed.result.alive) {
+                MemoryExperimentConfig cfg2 = cfg;
+                cfg2.noise.defectiveSites.clear();
+                sd_rate = runMemoryExperiment(deformed.result.patch, cfg2)
+                              .pRound;
+            }
+            std::printf("%-10.1e %4d | %-16.3e %-16.3e\n", pc, k,
+                        untreated.pRound, sd_rate);
+        }
+    }
+    std::printf("\nExpected shape (paper): the removed code maintains a\n"
+                "~10x improvement as the correlated rate grows.\n");
+    return 0;
+}

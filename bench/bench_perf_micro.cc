@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Google-benchmark micro-benchmarks of the performance-critical kernels:
+ * frame-simulator sampling, DEM extraction, MWPM decoding, deformation,
+ * and graph distance computation.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/deformation_unit.hh"
+#include "decode/mwpm.hh"
+#include "lattice/distance.hh"
+#include "lattice/rotated.hh"
+#include "sim/dem.hh"
+#include "sim/frame.hh"
+#include "sim/syndrome_circuit.hh"
+
+using namespace surf;
+
+namespace {
+
+BuiltCircuit
+standardCircuit(int d)
+{
+    MemorySpec spec;
+    spec.rounds = d;
+    NoiseParams noise;
+    noise.p = 1e-3;
+    return buildMemoryCircuit(squarePatch(d), spec, noise);
+}
+
+void
+BM_FrameSimulator(benchmark::State &state)
+{
+    const auto built = standardCircuit(static_cast<int>(state.range(0)));
+    uint64_t seed = 1;
+    for (auto _ : state) {
+        FrameSimulator sim(built.circuit, 1024, seed++);
+        benchmark::DoNotOptimize(sim.numDetectors());
+    }
+    state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_FrameSimulator)->Arg(3)->Arg(5)->Arg(9);
+
+void
+BM_DemExtraction(benchmark::State &state)
+{
+    const auto built = standardCircuit(static_cast<int>(state.range(0)));
+    for (auto _ : state) {
+        auto dem = buildDem(built.circuit, PauliType::Z);
+        benchmark::DoNotOptimize(dem.numDetectors);
+    }
+}
+BENCHMARK(BM_DemExtraction)->Arg(3)->Arg(5)->Arg(9);
+
+void
+BM_MwpmDecode(benchmark::State &state)
+{
+    const int d = static_cast<int>(state.range(0));
+    const auto built = standardCircuit(d);
+    const auto dem = buildDem(built.circuit, PauliType::Z);
+    const MwpmDecoder decoder(dem, 1);
+    FrameSimulator sim(built.circuit, 256, 7);
+    size_t shot = 0;
+    for (auto _ : state) {
+        const auto fired = sim.firedDetectors(shot % 256);
+        benchmark::DoNotOptimize(decoder.decode(fired));
+        ++shot;
+    }
+}
+BENCHMARK(BM_MwpmDecode)->Arg(3)->Arg(5)->Arg(9);
+
+void
+BM_DeformationUnit(benchmark::State &state)
+{
+    const int d = static_cast<int>(state.range(0));
+    DeformConfig cfg;
+    cfg.d = d;
+    cfg.deltaD = 4;
+    DeformationUnit unit(cfg);
+    const std::set<Coord> defects{{d, d}, {d + 1, d + 1}, {d - 2, d}};
+    for (auto _ : state) {
+        auto out = unit.apply(defects);
+        benchmark::DoNotOptimize(out.result.distX);
+    }
+}
+BENCHMARK(BM_DeformationUnit)->Arg(9)->Arg(15)->Arg(21);
+
+void
+BM_GraphDistance(benchmark::State &state)
+{
+    const CodePatch p = squarePatch(static_cast<int>(state.range(0)));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(graphDistance(p, PauliType::Z).distance);
+    }
+}
+BENCHMARK(BM_GraphDistance)->Arg(9)->Arg(21)->Arg(35);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Small shared helpers for the benchmark harnesses: command-line flag
+ * parsing (--key=value) and a global scale knob so `--scale=10` (or the
+ * SURF_BENCH_SCALE environment variable) buys more Monte-Carlo precision.
+ */
+
+#ifndef SURF_BENCH_BENCH_UTIL_HH
+#define SURF_BENCH_BENCH_UTIL_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+namespace surf::benchutil {
+
+/** Parse --key=value (double) from argv, else fall back to `fallback`. */
+inline double
+flagValue(int argc, char **argv, const char *key, double fallback)
+{
+    const std::string prefix = std::string("--") + key + "=";
+    for (int i = 1; i < argc; ++i)
+        if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0)
+            return std::atof(argv[i] + prefix.size());
+    return fallback;
+}
+
+/** Monte-Carlo budget multiplier: --scale flag or SURF_BENCH_SCALE env. */
+inline double
+scale(int argc, char **argv)
+{
+    double s = flagValue(argc, argv, "scale", 0.0);
+    if (s > 0.0)
+        return s;
+    if (const char *env = std::getenv("SURF_BENCH_SCALE"))
+        return std::atof(env);
+    return 1.0;
+}
+
+inline void
+header(const char *title)
+{
+    std::printf("==========================================================\n");
+    std::printf("%s\n", title);
+    std::printf("==========================================================\n");
+}
+
+} // namespace surf::benchutil
+
+#endif // SURF_BENCH_BENCH_UTIL_HH

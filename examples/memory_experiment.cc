@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Full QEC pipeline example: run Monte-Carlo memory experiments on a
+ * pristine patch, an untreated defective patch, and a Surf-Deformer
+ * deformed patch, and compare logical error rates.
+ */
+
+#include <cstdio>
+
+#include "core/deformation_unit.hh"
+#include "decode/memory_experiment.hh"
+#include "lattice/rotated.hh"
+
+using namespace surf;
+
+int
+main()
+{
+    const int d = 5;
+    const std::set<Coord> defects{{5, 5}, {4, 4}};
+
+    MemoryExperimentConfig cfg;
+    cfg.spec.basis = PauliType::Z;
+    cfg.spec.rounds = d;
+    cfg.noise.p = 2e-3;
+    cfg.maxShots = 20000;
+    cfg.targetFailures = 1u << 30;
+
+    std::printf("memory-Z, %d rounds, p = %.0e, MWPM decoding, %lu "
+                "shots per configuration\n\n",
+                d, cfg.noise.p, static_cast<unsigned long>(cfg.maxShots));
+
+    // 1. Pristine d=5 code.
+    const auto pristine = runMemoryExperiment(squarePatch(d), cfg);
+    std::printf("pristine d=5:            p_L/round = %.3e (+/- %.1e)\n",
+                pristine.pRound, pristine.se);
+
+    // 2. Same code with a defective region left untreated (50%% rates).
+    auto bad_cfg = cfg;
+    bad_cfg.noise.defectiveSites = defects;
+    const auto untreated = runMemoryExperiment(squarePatch(d), bad_cfg);
+    std::printf("untreated defects:       p_L/round = %.3e\n",
+                untreated.pRound);
+
+    // 3. Surf-Deformer removes the defective qubits.
+    DeformConfig dc;
+    dc.d = d;
+    dc.deltaD = 0;
+    dc.enlargement = false;
+    const auto deformed = DeformationUnit(dc).apply(defects);
+    const auto removed = runMemoryExperiment(deformed.result.patch, cfg);
+    std::printf("Surf-Deformer removal:   p_L/round = %.3e "
+                "(deformed distance %zu)\n",
+                removed.pRound,
+                std::min(deformed.result.distX, deformed.result.distZ));
+
+    std::printf("\nremoval recovers %.0fx of the untreated error rate.\n",
+                untreated.pRound / std::max(removed.pRound, 1e-12));
+    return 0;
+}

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Quickstart: build a surface code patch, strike it with a defect, let
+ * the Surf-Deformer deformation unit remove the defect and restore the
+ * code distance, and inspect the instruction trace.
+ */
+
+#include <cstdio>
+
+#include "core/deformation_unit.hh"
+#include "lattice/distance.hh"
+#include "lattice/rotated.hh"
+
+using namespace surf;
+
+int
+main()
+{
+    // A distance-7 rotated surface code patch.
+    CodePatch patch = squarePatch(7);
+    std::printf("pristine d=7 patch (%zu data + %zu checks):\n%s\n",
+                patch.numData(), patch.checks().size(),
+                patch.render().c_str());
+    std::printf("X distance = %zu, Z distance = %zu\n\n",
+                graphDistance(patch, PauliType::X).distance,
+                graphDistance(patch, PauliType::Z).distance);
+
+    // A dynamic defect hits an interior data qubit and a syndrome qubit.
+    const std::set<Coord> defects{{7, 7}, {6, 6}};
+    std::printf("defect strikes data qubit (7,7) and syndrome qubit "
+                "(6,6)\n\n");
+
+    // The deformation unit removes the defects and adaptively enlarges.
+    DeformConfig cfg;
+    cfg.d = 7;
+    cfg.deltaD = 4; // layout head-room (Sec. VI)
+    DeformationUnit unit(cfg);
+    const auto out = unit.apply(defects);
+
+    std::printf("deformed patch:\n%s\n", out.result.patch.render().c_str());
+    std::printf("X distance = %zu, Z distance = %zu (restored: %s, "
+                "layers grown: %d)\n\n",
+                out.result.distX, out.result.distZ,
+                out.restored ? "yes" : "no", out.totalGrown());
+    std::printf("instruction trace:\n%s", out.trace.str().c_str());
+
+    // When the defect subsides, the code shrinks back.
+    const auto calm = unit.apply({});
+    std::printf("\nafter the defect subsides: %zu data qubits, "
+                "distance %zu\n",
+                calm.result.patch.numData(),
+                std::min(calm.result.distX, calm.result.distZ));
+    return 0;
+}

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Regeneration-based deformation state. The paper's Adaptive Enlargement
+ * subroutine first performs the regular enlargement while temporarily
+ * disregarding defective qubits and then excludes them with the removal
+ * instructions (Sec. V-B); DeformState captures exactly that semantics:
+ * it tracks the current patch rectangle and the active defect set, and
+ * build() regenerates the pristine rectangle and replays the removals.
+ *
+ * PatchQ_ADD (paper fig. 6d) appears here as grow(): one data layer added
+ * on a chosen side, extending half-checks into full checks and creating
+ * the staggered new boundary checks.
+ */
+
+#ifndef SURF_CORE_DEFORM_STATE_HH
+#define SURF_CORE_DEFORM_STATE_HH
+
+#include <set>
+
+#include "core/trace.hh"
+#include "lattice/patch.hh"
+
+namespace surf {
+
+/** Boundary-removal policy: how PatchQ_RM picks the operator to fix. */
+enum class RemovalPolicy : uint8_t
+{
+    /** Surf-Deformer: evaluate both candidate fixes and keep the one that
+     *  balances (maximizes the minimum of) the X- and Z-distances
+     *  (paper fig. 8b, Alg. 1 `balancing`). */
+    Balanced,
+    /** ASC-S: minimize the number of disabled qubits regardless of the
+     *  distance impact (paper fig. 8a). */
+    MinimalDisable,
+};
+
+/** A fully deformed patch plus its summary metrics. */
+struct DeformedPatch
+{
+    CodePatch patch;
+    size_t distX = 0;
+    size_t distZ = 0;
+    bool alive = false;  ///< both logical operators still exist
+};
+
+/**
+ * The deformation unit's bookkeeping for one logical qubit patch:
+ * a rectangle (origin, dx, dz) and the set of defective physical sites.
+ */
+struct DeformState
+{
+    Coord origin{0, 0};
+    int dx = 0;
+    int dz = 0;
+    /** Active defective sites: data coordinates (odd-odd) or syndrome
+     *  coordinates (even-even), in absolute lattice coordinates. */
+    std::set<Coord> defects;
+    RemovalPolicy policy = RemovalPolicy::Balanced;
+    /** ASC-S removes a defective syndrome qubit by removing its adjacent
+     *  data qubits with DataQ_RM (paper Sec. V-A comparison). */
+    bool syndromeViaDataRemoval = false;
+
+    /** PatchQ_ADD one data layer on the given side. */
+    void grow(Side side);
+
+    /** Number of defective sites inside the prospective next layer on the
+     *  given side (used by Alg. 2's find_layer / min selection). */
+    int defectsInNextLayer(Side side) const;
+
+    /**
+     * Regenerate the pristine rectangle and replay all removals:
+     * interior syndrome defects via SyndromeQ_RM (or ASC-S's data-removal
+     * emulation), interior data defects via DataQ_RM, boundary defects via
+     * PatchQ_RM with the configured pin policy. Recomputes the
+     * super-stabilizers and refreshes logical representatives.
+     */
+    DeformedPatch build(DeformTrace *trace = nullptr) const;
+};
+
+} // namespace surf
+
+#endif // SURF_CORE_DEFORM_STATE_HH

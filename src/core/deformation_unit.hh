@@ -1,0 +1,74 @@
+/**
+ * @file
+ * The Code Deformation Unit (paper Sec. V): before every QEC cycle it
+ * receives the current defect information and produces the deformed code,
+ * running the Defect Removal subroutine (Alg. 1) followed by the Adaptive
+ * Enlargement subroutine (Alg. 2) capped by the layout's extra inter-space
+ * Delta_d.
+ */
+
+#ifndef SURF_CORE_DEFORMATION_UNIT_HH
+#define SURF_CORE_DEFORMATION_UNIT_HH
+
+#include <array>
+#include <set>
+
+#include "core/deform_state.hh"
+
+namespace surf {
+
+/** Configuration of a deformation unit instance. */
+struct DeformConfig
+{
+    int d = 0;                 ///< target code distance to maintain
+    int deltaD = 0;            ///< enlargement cap per side (layout Delta_d)
+    Coord origin{0, 0};        ///< patch origin
+    RemovalPolicy policy = RemovalPolicy::Balanced;
+    bool enlargement = true;   ///< run Alg. 2 (off for removal-only ASC-S)
+    bool syndromeViaDataRemoval = false; ///< ASC-S syndrome handling
+};
+
+/** Result of one deformation pass. */
+struct DeformOutcome
+{
+    DeformedPatch result;
+    std::array<int, 4> grown{0, 0, 0, 0}; ///< layers added per Side
+    bool restored = false; ///< distances back to at least d in both types
+    DeformTrace trace;
+
+    int
+    totalGrown() const
+    {
+        return grown[0] + grown[1] + grown[2] + grown[3];
+    }
+};
+
+/**
+ * Runtime code deformation unit for a single logical qubit patch.
+ *
+ * apply() is a pure function of the active defect set: the physical
+ * device would execute the incremental instruction stream, but the
+ * resulting code (and its instruction trace) is what this returns. When
+ * the defect set shrinks (defects subside), the code shrinks back toward
+ * its original footprint automatically.
+ */
+class DeformationUnit
+{
+  public:
+    explicit DeformationUnit(DeformConfig config) : config_(config) {}
+
+    const DeformConfig &config() const { return config_; }
+
+    /**
+     * Run Alg. 1 (removal) then Alg. 2 (adaptive enlargement) for the
+     * given defective sites (absolute lattice coordinates).
+     */
+    DeformOutcome apply(const std::set<Coord> &defects) const;
+
+  private:
+    DeformConfig config_;
+};
+
+} // namespace surf
+
+#endif // SURF_CORE_DEFORMATION_UNIT_HH

@@ -1,0 +1,228 @@
+#include "core/instructions.hh"
+
+#include <algorithm>
+#include <deque>
+
+#include "util/logging.hh"
+
+namespace surf {
+
+namespace {
+
+/** Erase one coordinate from a sorted support vector (no-op if absent). */
+bool
+eraseFromSupport(std::vector<Coord> &support, Coord q)
+{
+    auto it = std::lower_bound(support.begin(), support.end(), q);
+    if (it == support.end() || *it != q)
+        return false;
+    support.erase(it);
+    return true;
+}
+
+} // namespace
+
+int
+checkAt(const CodePatch &patch, Coord a)
+{
+    const auto &checks = patch.checks();
+    for (size_t i = 0; i < checks.size(); ++i)
+        if (checks[i].ancilla && *checks[i].ancilla == a)
+            return static_cast<int>(i);
+    return -1;
+}
+
+bool
+isInteriorData(const CodePatch &patch, Coord q)
+{
+    if (!patch.hasData(q))
+        return false;
+    return q.x > patch.xMin() && q.x < patch.xMax() && q.y > patch.yMin() &&
+           q.y < patch.yMax();
+}
+
+bool
+isInteriorSyndrome(const CodePatch &patch, Coord a)
+{
+    if (checkAt(patch, a) < 0)
+        return false;
+    return a.x > patch.xMin() && a.x < patch.xMax() && a.y > patch.yMin() &&
+           a.y < patch.yMax();
+}
+
+void
+dataQRm(CodePatch &patch, Coord q, DeformTrace *trace)
+{
+    SURF_ASSERT(patch.hasData(q), "DataQ_RM on dead qubit ", q.str());
+    auto &checks = patch.mutableChecks();
+    std::vector<bool> dead(checks.size(), false);
+    int converted = 0;
+    for (size_t i = 0; i < checks.size(); ++i) {
+        if (!eraseFromSupport(checks[i].support, q))
+            continue;
+        ++converted;
+        checks[i].role = CheckRole::Gauge;
+        if (checks[i].support.empty())
+            dead[i] = true;
+    }
+    patch.compactChecks(dead);
+    patch.removeData(q);
+    if (trace) {
+        // Paper fig. 6a: four S2G (introducing X0/Z0 partners) followed by
+        // four G2G multiplications separating q from the code.
+        trace->add({"DataQ_RM " + q.str(), converted, 0, 0, converted});
+    }
+}
+
+void
+syndromeQRm(CodePatch &patch, Coord a, DeformTrace *trace)
+{
+    const int idx = checkAt(patch, a);
+    SURF_ASSERT(idx >= 0, "SyndromeQ_RM: no check at ", a.str());
+    auto &checks = patch.mutableChecks();
+    const PauliType t = checks[idx].type;
+    const std::vector<Coord> support = checks[idx].support;
+
+    // Opposite-type checks overlapping the lost check become gauges
+    // (their region product is the enclosing super-stabilizer).
+    int converted = 0;
+    for (auto &c : checks) {
+        if (c.type == t)
+            continue;
+        bool touches = false;
+        for (const Coord &q : support)
+            if (c.contains(q)) {
+                touches = true;
+                break;
+            }
+        if (touches && c.role != CheckRole::Gauge) {
+            c.role = CheckRole::Gauge;
+            ++converted;
+        }
+    }
+    // Weight-1 directly-measured gauges reconstruct the lost stabilizer.
+    for (const Coord &q : support) {
+        bool exists = false;
+        for (const auto &c : checks)
+            if (c.role == CheckRole::Gauge && c.type == t &&
+                c.support.size() == 1 && c.support[0] == q) {
+                exists = true;
+                break;
+            }
+        if (exists)
+            continue;
+        Check g;
+        g.type = t;
+        g.support = {q};
+        g.ancilla = std::nullopt;
+        g.role = CheckRole::Gauge;
+        patch.addCheck(std::move(g));
+    }
+    std::vector<bool> dead(patch.checks().size(), false);
+    dead[static_cast<size_t>(idx)] = true;
+    patch.compactChecks(dead);
+    if (trace)
+        trace->add({"SyndromeQ_RM " + a.str(), converted, 0, 0, 0});
+}
+
+std::vector<Coord>
+pinData(CodePatch &patch, Coord q, PauliType fix, DeformTrace *trace)
+{
+    SURF_ASSERT(patch.hasData(q), "pin on dead qubit ", q.str());
+    std::vector<Coord> removed;
+    std::deque<std::pair<Coord, PauliType>> worklist{{q, fix}};
+    int n_s2g = 0, n_g2s = 0, n_s2s = 0;
+
+    while (!worklist.empty()) {
+        const auto [r, t] = worklist.front();
+        worklist.pop_front();
+        if (!patch.hasData(r))
+            continue;
+        ++n_g2s; // fixing P_r^t as a stabilizer
+
+        auto &checks = patch.mutableChecks();
+        std::vector<bool> dead(checks.size(), false);
+
+        // Same-type checks simply shrink (multiplication by the pin).
+        for (auto &c : checks) {
+            if (c.type != t)
+                continue;
+            if (eraseFromSupport(c.support, r) && c.support.empty())
+                dead[&c - checks.data()] = true;
+        }
+        // Opposite-type checks anti-commute with the pin: merge in pairs;
+        // an odd leftover is deleted outright.
+        std::vector<int> opp;
+        for (size_t i = 0; i < checks.size(); ++i)
+            if (checks[i].type != t && checks[i].contains(r))
+                opp.push_back(static_cast<int>(i));
+        ++n_s2g;
+        for (size_t i = 0; i + 1 < opp.size(); i += 2) {
+            Check &keep = checks[static_cast<size_t>(opp[i])];
+            Check &gone = checks[static_cast<size_t>(opp[i + 1])];
+            keep.support = supportXor(keep.support, gone.support);
+            if (gone.role == CheckRole::Gauge)
+                keep.role = CheckRole::Gauge;
+            if (!keep.ancilla)
+                keep.ancilla = gone.ancilla;
+            dead[static_cast<size_t>(opp[i + 1])] = true;
+            if (keep.support.empty())
+                dead[static_cast<size_t>(opp[i])] = true;
+            ++n_s2s;
+        }
+        if (opp.size() % 2 == 1)
+            dead[static_cast<size_t>(opp.back())] = true;
+
+        patch.compactChecks(dead);
+        patch.removeData(r);
+        removed.push_back(r);
+
+        // Cascade: a weight-1 *stabilizer* check pins its qubit, which is
+        // then disabled as well (paper fig. 8 "disabled" qubits).
+        bool found = true;
+        while (found) {
+            found = false;
+            for (size_t i = 0; i < patch.checks().size(); ++i) {
+                const Check &c = patch.checks()[i];
+                if (c.role == CheckRole::Stabilizer &&
+                    c.support.size() == 1) {
+                    std::vector<bool> kill(patch.checks().size(), false);
+                    kill[i] = true;
+                    const Coord s = c.support[0];
+                    const PauliType ct = c.type;
+                    patch.compactChecks(kill);
+                    worklist.emplace_back(s, ct);
+                    found = true;
+                    break; // container changed; rescan from the start
+                }
+            }
+        }
+    }
+    if (trace) {
+        trace->add({"PatchQ_RM " + q.str() + " fix=" +
+                        std::string(1, typeChar(fix)),
+                    n_s2g, n_g2s, n_s2s, 0});
+    }
+    return removed;
+}
+
+std::vector<Coord>
+removeBoundaryCheck(CodePatch &patch, Coord a, Coord pin_choice,
+                    DeformTrace *trace)
+{
+    const int idx = checkAt(patch, a);
+    if (idx < 0)
+        return {};
+    const PauliType t = patch.checks()[static_cast<size_t>(idx)].type;
+    SURF_ASSERT(
+        patch.checks()[static_cast<size_t>(idx)].contains(pin_choice),
+        "pin choice ", pin_choice.str(), " outside check at ", a.str());
+    std::vector<bool> dead(patch.checks().size(), false);
+    dead[static_cast<size_t>(idx)] = true;
+    patch.compactChecks(dead);
+    if (trace)
+        trace->add({"PatchQ_RM syndrome " + a.str(), 1, 0, 0, 0});
+    return pinData(patch, pin_choice, oppositeType(t), trace);
+}
+
+} // namespace surf

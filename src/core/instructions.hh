@@ -1,0 +1,82 @@
+/**
+ * @file
+ * The Surf-Deformer instruction set (paper Sec. IV): DataQ_RM,
+ * SyndromeQ_RM, PatchQ_RM and PatchQ_ADD. Each instruction is a CISC-style
+ * composition of atomic gauge transformations adapted to the surface code
+ * topology; here they are implemented as direct mutations of a CodePatch
+ * with the atomic-operation counts recorded in a DeformTrace.
+ *
+ * PatchQ_ADD operates at the deformation-state level (see deform_state.hh)
+ * because enlargement regenerates the boundary structure; the remaining
+ * three instructions act on a patch in place.
+ */
+
+#ifndef SURF_CORE_INSTRUCTIONS_HH
+#define SURF_CORE_INSTRUCTIONS_HH
+
+#include "core/trace.hh"
+#include "lattice/patch.hh"
+
+namespace surf {
+
+/**
+ * DataQ_RM: remove a single interior data qubit (paper fig. 6a).
+ *
+ * Every check containing q loses q from its support and becomes a gauge
+ * check; the opposite-type pairs of shrunk checks form super-stabilizer
+ * clusters (e.g. the two weight-3 Z gauges whose product is the weight-6
+ * Z super-stabilizer). The caller is responsible for invoking
+ * CodePatch::recomputeSupers() after a batch of removals (the instructions
+ * commute, paper Sec. V-A).
+ */
+void dataQRm(CodePatch &patch, Coord q, DeformTrace *trace = nullptr);
+
+/**
+ * SyndromeQ_RM: remove a single interior syndrome qubit (paper fig. 6b).
+ *
+ * Drops the check measured by the ancilla at `a`, converts the
+ * opposite-type checks overlapping its support into gauge checks, and adds
+ * weight-1 directly-measured gauge checks on each support qubit. The
+ * weight-1 gauges' product reconstructs the lost stabilizer; the
+ * opposite-type gauges' product is the enclosing super-stabilizer
+ * (the "octagon") that does not rely on the removed syndrome qubit.
+ */
+void syndromeQRm(CodePatch &patch, Coord a, DeformTrace *trace = nullptr);
+
+/**
+ * Pin-based boundary data-qubit removal: the heart of PatchQ_RM
+ * (paper fig. 6c). Fixes the weight-1 operator P_q^{fix} as a stabilizer,
+ * shrinking same-type checks and merging (or deleting) opposite-type
+ * checks, then discards q. Weight-1 leftover stabilizer checks cascade:
+ * their qubit is pinned and removed recursively (the "disabled" qubits of
+ * the paper's fig. 8).
+ *
+ * @return the set of data qubits removed (q plus any cascade)
+ */
+std::vector<Coord> pinData(CodePatch &patch, Coord q, PauliType fix,
+                           DeformTrace *trace = nullptr);
+
+/**
+ * Boundary syndrome-qubit removal: deletes the boundary check measured at
+ * `a` and pins one data qubit of its support (with the opposite Pauli
+ * type) so the logical qubit count is preserved.
+ *
+ * @param pin_choice the support qubit to pin; must belong to the check
+ * @return the set of data qubits removed
+ */
+std::vector<Coord> removeBoundaryCheck(CodePatch &patch, Coord a,
+                                       Coord pin_choice,
+                                       DeformTrace *trace = nullptr);
+
+/** True when q is a data qubit strictly inside the patch bounding box. */
+bool isInteriorData(const CodePatch &patch, Coord q);
+
+/** True when the ancilla at `a` measures a full-weight interior check. */
+bool isInteriorSyndrome(const CodePatch &patch, Coord a);
+
+/** Index of the check measured by the ancilla at `a`, or -1. */
+int checkAt(const CodePatch &patch, Coord a);
+
+} // namespace surf
+
+#endif // SURF_CORE_INSTRUCTIONS_HH

@@ -1,0 +1,35 @@
+#include "core/trace.hh"
+
+#include <sstream>
+
+namespace surf {
+
+InstructionRecord
+DeformTrace::totals() const
+{
+    InstructionRecord t;
+    t.name = "totals";
+    for (const auto &r : records_) {
+        t.s2g += r.s2g;
+        t.g2s += r.g2s;
+        t.s2s += r.s2s;
+        t.g2g += r.g2g;
+    }
+    return t;
+}
+
+std::string
+DeformTrace::str() const
+{
+    std::ostringstream oss;
+    for (const auto &r : records_) {
+        oss << r.name << "  [S2G=" << r.s2g << " G2S=" << r.g2s
+            << " S2S=" << r.s2s << " G2G=" << r.g2g << "]\n";
+    }
+    const auto t = totals();
+    oss << "total: " << records_.size() << " instructions, S2G=" << t.s2g
+        << " G2S=" << t.g2s << " S2S=" << t.s2s << " G2G=" << t.g2g << "\n";
+    return oss.str();
+}
+
+} // namespace surf

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Instruction trace for code deformations. Each Surf-Deformer instruction
+ * is a CISC-style composition of the four atomic gauge transformations
+ * (paper Sec. II-C); the trace records the instruction stream and the
+ * atomic-operation totals so experiments can report deformation cost.
+ */
+
+#ifndef SURF_CORE_TRACE_HH
+#define SURF_CORE_TRACE_HH
+
+#include <string>
+#include <vector>
+
+namespace surf {
+
+/** Atomic gauge transformation counts for one instruction. */
+struct InstructionRecord
+{
+    std::string name;   ///< e.g. "DataQ_RM (3,5)"
+    int s2g = 0;        ///< stabilizer-to-gauge conversions
+    int g2s = 0;        ///< gauge-to-stabilizer conversions
+    int s2s = 0;        ///< stabilizer products
+    int g2g = 0;        ///< gauge products
+};
+
+/** Ordered record of the instructions applied during a deformation. */
+class DeformTrace
+{
+  public:
+    void
+    add(InstructionRecord record)
+    {
+        records_.push_back(std::move(record));
+    }
+
+    const std::vector<InstructionRecord> &records() const { return records_; }
+    size_t size() const { return records_.size(); }
+    void clear() { records_.clear(); }
+
+    /** Summed atomic-operation counts over the whole trace. */
+    InstructionRecord totals() const;
+
+    /** Multi-line human-readable listing. */
+    std::string str() const;
+
+  private:
+    std::vector<InstructionRecord> records_;
+};
+
+} // namespace surf
+
+#endif // SURF_CORE_TRACE_HH

@@ -1,0 +1,402 @@
+#include "decode/blossom.hh"
+
+#include <algorithm>
+#include <deque>
+
+#include "util/logging.hh"
+
+namespace surf {
+
+namespace {
+
+/**
+ * Dense O(n^3) maximum-weight general matching with blossoms and dual
+ * variables (the classic formulation with outer-vertex relabeling; see
+ * Galil's survey). Vertices are 1-indexed; indices above n denote
+ * contracted blossoms.
+ */
+class MaxWeightMatcher
+{
+  public:
+    explicit MaxWeightMatcher(int n)
+        : n_(n), n_x_(n), g_((2 * n + 1) * (2 * n + 1)),
+          lab_(2 * n + 1, 0), match_(2 * n + 1, 0), slack_(2 * n + 1, 0),
+          st_(2 * n + 1, 0), pa_(2 * n + 1, 0),
+          flower_from_((2 * n + 1) * (n + 1), 0), s_(2 * n + 1, 0),
+          vis_(2 * n + 1, 0), flower_(2 * n + 1)
+    {
+        for (int u = 1; u <= n_; ++u)
+            for (int v = 1; v <= n_; ++v)
+                edge(u, v) = {u, v, 0};
+    }
+
+    void
+    setWeight(int u, int v, int64_t w)
+    {
+        // Internally doubled so dual variables stay integral.
+        edge(u + 1, v + 1).w = 2 * w;
+        edge(v + 1, u + 1).w = 2 * w;
+    }
+
+    /** Run; returns (total weight, matched pairs). mate is 0-indexed. */
+    std::pair<int64_t, std::vector<int>>
+    solve()
+    {
+        std::fill(s_.begin(), s_.end(), -1);
+        std::fill(match_.begin(), match_.end(), 0);
+        n_x_ = n_;
+        int64_t w_max = 0;
+        for (int u = 1; u <= n_; ++u) {
+            st_[u] = u;
+            flower_[u].clear();
+            for (int v = 1; v <= n_; ++v) {
+                flowerFrom(u, v) = (u == v) ? u : 0;
+                w_max = std::max(w_max, edge(u, v).w);
+            }
+        }
+        for (int u = 1; u <= n_; ++u)
+            lab_[u] = w_max;
+        while (matching()) {
+        }
+        int64_t total = 0;
+        std::vector<int> mate(n_, -1);
+        for (int u = 1; u <= n_; ++u) {
+            if (match_[u] && match_[u] > u)
+                total += edge(u, match_[u]).w / 2;
+            mate[u - 1] = match_[u] ? match_[u] - 1 : -1;
+        }
+        return {total, mate};
+    }
+
+  private:
+    struct E
+    {
+        int u, v;
+        int64_t w;
+    };
+
+    int n_, n_x_;
+    std::vector<E> g_;
+    std::vector<int64_t> lab_;
+    std::vector<int> match_, slack_, st_, pa_;
+    std::vector<int> flower_from_;
+    std::vector<int> s_, vis_;
+    std::vector<std::vector<int>> flower_;
+    std::deque<int> q_;
+
+    E &edge(int u, int v) { return g_[u * (2 * n_ + 1) + v]; }
+    int &flowerFrom(int b, int x) { return flower_from_[b * (n_ + 1) + x]; }
+
+    int64_t
+    eDelta(const E &e) const
+    {
+        return lab_[e.u] + lab_[e.v] - g_[e.u * (2 * n_ + 1) + e.v].w * 2;
+    }
+
+    void
+    updateSlack(int u, int x)
+    {
+        if (!slack_[x] || eDelta(edge(u, x)) < eDelta(edge(slack_[x], x)))
+            slack_[x] = u;
+    }
+
+    void
+    setSlack(int x)
+    {
+        slack_[x] = 0;
+        for (int u = 1; u <= n_; ++u)
+            if (edge(u, x).w > 0 && st_[u] != x && s_[st_[u]] == 0)
+                updateSlack(u, x);
+    }
+
+    void
+    qPush(int x)
+    {
+        if (x <= n_) {
+            q_.push_back(x);
+        } else {
+            for (int t : flower_[x])
+                qPush(t);
+        }
+    }
+
+    void
+    setSt(int x, int b)
+    {
+        st_[x] = b;
+        if (x > n_)
+            for (int t : flower_[x])
+                setSt(t, b);
+    }
+
+    int
+    getPr(int b, int xr)
+    {
+        auto &f = flower_[b];
+        const int pr = static_cast<int>(
+            std::find(f.begin(), f.end(), xr) - f.begin());
+        if (pr % 2 == 1) {
+            std::reverse(f.begin() + 1, f.end());
+            return static_cast<int>(f.size()) - pr;
+        }
+        return pr;
+    }
+
+    void
+    setMatch(int u, int v)
+    {
+        match_[u] = edge(u, v).v;
+        if (u <= n_)
+            return;
+        const E &e = edge(u, v);
+        const int xr = flowerFrom(u, e.u);
+        const int pr = getPr(u, xr);
+        auto &f = flower_[u];
+        for (int i = 0; i < pr; ++i)
+            setMatch(f[i], f[i ^ 1]);
+        setMatch(xr, v);
+        std::rotate(f.begin(), f.begin() + pr, f.end());
+    }
+
+    void
+    augment(int u, int v)
+    {
+        for (;;) {
+            const int xnv = st_[match_[u]];
+            setMatch(u, v);
+            if (!xnv)
+                return;
+            setMatch(xnv, st_[pa_[xnv]]);
+            u = st_[pa_[xnv]];
+            v = xnv;
+        }
+    }
+
+    int
+    getLca(int u, int v)
+    {
+        static int t = 0;
+        for (++t; u || v; std::swap(u, v)) {
+            if (u == 0)
+                continue;
+            if (vis_[u] == t)
+                return u;
+            vis_[u] = t;
+            u = st_[match_[u]];
+            if (u)
+                u = st_[pa_[u]];
+        }
+        return 0;
+    }
+
+    void
+    addBlossom(int u, int lca, int v)
+    {
+        int b = n_ + 1;
+        while (b <= n_x_ && st_[b])
+            ++b;
+        if (b > n_x_)
+            ++n_x_;
+        lab_[b] = 0;
+        s_[b] = 0;
+        match_[b] = match_[lca];
+        flower_[b].clear();
+        flower_[b].push_back(lca);
+        for (int x = u, y; x != lca; x = st_[pa_[y]]) {
+            flower_[b].push_back(x);
+            y = st_[match_[x]];
+            flower_[b].push_back(y);
+            qPush(y);
+        }
+        std::reverse(flower_[b].begin() + 1, flower_[b].end());
+        for (int x = v, y; x != lca; x = st_[pa_[y]]) {
+            flower_[b].push_back(x);
+            y = st_[match_[x]];
+            flower_[b].push_back(y);
+            qPush(y);
+        }
+        setSt(b, b);
+        for (int x = 1; x <= n_x_; ++x) {
+            edge(b, x).w = 0;
+            edge(x, b).w = 0;
+        }
+        for (int x = 1; x <= n_; ++x)
+            flowerFrom(b, x) = 0;
+        for (int xs : flower_[b]) {
+            for (int x = 1; x <= n_x_; ++x) {
+                if (edge(b, x).w == 0 ||
+                    eDelta(edge(xs, x)) < eDelta(edge(b, x))) {
+                    edge(b, x) = edge(xs, x);
+                    edge(x, b) = edge(x, xs);
+                }
+            }
+            for (int x = 1; x <= n_; ++x)
+                if (flowerFrom(xs, x))
+                    flowerFrom(b, x) = xs;
+        }
+        setSlack(b);
+    }
+
+    void
+    expandBlossom(int b)
+    {
+        for (int t : flower_[b])
+            setSt(t, t);
+        const int xr = flowerFrom(b, edge(b, pa_[b]).u);
+        const int pr = getPr(b, xr);
+        auto &f = flower_[b];
+        for (int i = 0; i < pr; i += 2) {
+            const int xs = f[i];
+            const int xns = f[i + 1];
+            pa_[xs] = edge(xns, xs).u;
+            s_[xs] = 1;
+            s_[xns] = 0;
+            slack_[xs] = 0;
+            setSlack(xns);
+            qPush(xns);
+        }
+        s_[xr] = 1;
+        pa_[xr] = pa_[b];
+        for (size_t i = pr + 1; i < f.size(); ++i) {
+            s_[f[i]] = -1;
+            setSlack(f[i]);
+        }
+        st_[b] = 0;
+    }
+
+    bool
+    onFoundEdge(const E &e)
+    {
+        const int u = st_[e.u], v = st_[e.v];
+        if (s_[v] == -1) {
+            pa_[v] = e.u;
+            s_[v] = 1;
+            const int nu = st_[match_[v]];
+            slack_[v] = 0;
+            slack_[nu] = 0;
+            s_[nu] = 0;
+            qPush(nu);
+        } else if (s_[v] == 0) {
+            const int lca = getLca(u, v);
+            if (!lca) {
+                augment(u, v);
+                augment(v, u);
+                return true;
+            }
+            addBlossom(u, lca, v);
+        }
+        return false;
+    }
+
+    bool
+    matching()
+    {
+        std::fill(s_.begin(), s_.begin() + n_x_ + 1, -1);
+        std::fill(slack_.begin(), slack_.begin() + n_x_ + 1, 0);
+        q_.clear();
+        for (int x = 1; x <= n_x_; ++x) {
+            if (st_[x] == x && !match_[x]) {
+                pa_[x] = 0;
+                s_[x] = 0;
+                qPush(x);
+            }
+        }
+        if (q_.empty())
+            return false;
+        for (;;) {
+            while (!q_.empty()) {
+                const int u = q_.front();
+                q_.pop_front();
+                if (s_[st_[u]] == 1)
+                    continue;
+                for (int v = 1; v <= n_; ++v) {
+                    if (edge(u, v).w > 0 && st_[u] != st_[v]) {
+                        if (eDelta(edge(u, v)) == 0) {
+                            if (onFoundEdge(edge(u, v)))
+                                return true;
+                        } else {
+                            updateSlack(u, st_[v]);
+                        }
+                    }
+                }
+            }
+            int64_t d = INT64_MAX;
+            for (int b = n_ + 1; b <= n_x_; ++b)
+                if (st_[b] == b && s_[b] == 1)
+                    d = std::min(d, lab_[b] / 2);
+            for (int x = 1; x <= n_x_; ++x)
+                if (st_[x] == x && slack_[x]) {
+                    if (s_[x] == -1)
+                        d = std::min(d, eDelta(edge(slack_[x], x)));
+                    else if (s_[x] == 0)
+                        d = std::min(d, eDelta(edge(slack_[x], x)) / 2);
+                }
+            for (int u = 1; u <= n_; ++u) {
+                if (s_[st_[u]] == 0) {
+                    if (lab_[u] <= d)
+                        return false;
+                    lab_[u] -= d;
+                } else if (s_[st_[u]] == 1) {
+                    lab_[u] += d;
+                }
+            }
+            for (int b = n_ + 1; b <= n_x_; ++b) {
+                if (st_[b] == b) {
+                    if (s_[st_[b]] == 0)
+                        lab_[b] += d * 2;
+                    else if (s_[st_[b]] == 1)
+                        lab_[b] -= d * 2;
+                }
+            }
+            q_.clear();
+            for (int x = 1; x <= n_x_; ++x)
+                if (st_[x] == x && slack_[x] && st_[slack_[x]] != x &&
+                    eDelta(edge(slack_[x], x)) == 0) {
+                    if (onFoundEdge(edge(slack_[x], x)))
+                        return true;
+                }
+            for (int b = n_ + 1; b <= n_x_; ++b)
+                if (st_[b] == b && s_[b] == 1 && lab_[b] == 0)
+                    expandBlossom(b);
+        }
+        return false;
+    }
+};
+
+} // namespace
+
+std::vector<int>
+minWeightPerfectMatching(int n, const std::vector<int64_t> &w)
+{
+    SURF_ASSERT(n >= 0 && w.size() == static_cast<size_t>(n) * n,
+                "weight matrix size mismatch");
+    if (n == 0)
+        return {};
+    if (n % 2 != 0)
+        return {};
+    // Convert min-weight to max-weight with a large offset; forbidden
+    // pairs keep weight 0 (the matcher ignores w == 0 edges).
+    int64_t max_w = 1;
+    for (int64_t x : w)
+        if (x != kMatchForbidden)
+            max_w = std::max(max_w, x < 0 ? -x : x);
+    const int64_t offset = 4 * max_w * n + 1;
+    MaxWeightMatcher matcher(n);
+    for (int u = 0; u < n; ++u) {
+        for (int v = u + 1; v < n; ++v) {
+            const int64_t x = w[static_cast<size_t>(u) * n + v];
+            if (x == kMatchForbidden)
+                continue;
+            matcher.setWeight(u, v, offset - x);
+        }
+    }
+    auto [total, mate] = matcher.solve();
+    (void)total;
+    // Perfect matching check.
+    for (int u = 0; u < n; ++u)
+        if (mate[u] < 0)
+            return {};
+    return mate;
+}
+
+} // namespace surf

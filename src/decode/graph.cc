@@ -1,0 +1,105 @@
+#include "decode/graph.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+#include "util/logging.hh"
+
+namespace surf {
+
+namespace {
+
+double
+edgeWeight(double p)
+{
+    // Clamp into (0, 0.5) so weights stay positive and finite.
+    const double q = std::clamp(p, 1e-14, 0.499999);
+    return std::log((1.0 - q) / q);
+}
+
+} // namespace
+
+DecodingGraph::DecodingGraph(const DetectorErrorModel &dem, uint8_t tag)
+{
+    local_of_.assign(dem.numDetectors, -1);
+    for (uint32_t d = 0; d < dem.numDetectors; ++d) {
+        if (dem.detectorTag[d] == tag) {
+            local_of_[d] = static_cast<int>(global_of_.size());
+            global_of_.push_back(d);
+        }
+    }
+    const int bnode = boundaryNode();
+    adj_.assign(numNodes() + 1, {});
+    for (const DemEdge &e : dem.edges[tag]) {
+        const int a = (e.a < 0) ? bnode : local_of_[static_cast<size_t>(e.a)];
+        const int b = (e.b < 0) ? bnode : local_of_[static_cast<size_t>(e.b)];
+        SURF_ASSERT(a >= 0 && b >= 0, "edge references a foreign detector");
+        if (a == b)
+            continue;
+        const double w = edgeWeight(e.p);
+        adj_[static_cast<size_t>(a)].push_back({b, w, e.flipsObs});
+        adj_[static_cast<size_t>(b)].push_back({a, w, e.flipsObs});
+    }
+    buildApsp();
+}
+
+int
+DecodingGraph::localOf(uint32_t global_det) const
+{
+    SURF_ASSERT(global_det < local_of_.size());
+    return local_of_[global_det];
+}
+
+void
+DecodingGraph::buildApsp()
+{
+    const size_t n = numNodes() + 1;
+    dist_.assign(n, std::vector<float>(n,
+                                       std::numeric_limits<float>::infinity()));
+    obs_.assign(n, BitVec(n));
+    using Item = std::pair<double, int>;
+    std::vector<double> d(n);
+    std::vector<uint8_t> par(n);
+    for (size_t src = 0; src < n; ++src) {
+        std::fill(d.begin(), d.end(),
+                  std::numeric_limits<double>::infinity());
+        std::fill(par.begin(), par.end(), 0);
+        std::priority_queue<Item, std::vector<Item>, std::greater<>> pq;
+        d[src] = 0.0;
+        pq.push({0.0, static_cast<int>(src)});
+        while (!pq.empty()) {
+            const auto [dv, v] = pq.top();
+            pq.pop();
+            if (dv > d[static_cast<size_t>(v)])
+                continue;
+            for (const Edge &e : adj_[static_cast<size_t>(v)]) {
+                const double nd = dv + e.w;
+                if (nd < d[static_cast<size_t>(e.to)] - 1e-12) {
+                    d[static_cast<size_t>(e.to)] = nd;
+                    par[static_cast<size_t>(e.to)] =
+                        par[static_cast<size_t>(v)] ^ (e.obs ? 1 : 0);
+                    pq.push({nd, e.to});
+                }
+            }
+        }
+        for (size_t t = 0; t < n; ++t) {
+            dist_[src][t] = static_cast<float>(d[t]);
+            obs_[src].set(t, par[t]);
+        }
+    }
+}
+
+double
+DecodingGraph::dist(int a, int b) const
+{
+    return dist_[static_cast<size_t>(a)][static_cast<size_t>(b)];
+}
+
+bool
+DecodingGraph::obsParity(int a, int b) const
+{
+    return obs_[static_cast<size_t>(a)].get(static_cast<size_t>(b));
+}
+
+} // namespace surf

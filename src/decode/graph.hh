@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Matching graph for one CSS basis: detector nodes plus a virtual
+ * boundary node, edge weights w = log((1-p)/p), and all-pairs shortest
+ * paths with the observable parity accumulated along each shortest path.
+ */
+
+#ifndef SURF_DECODE_GRAPH_HH
+#define SURF_DECODE_GRAPH_HH
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "pauli/bitvec.hh"
+#include "sim/dem.hh"
+
+namespace surf {
+
+/** Decoding graph over the detectors of one basis tag. */
+class DecodingGraph
+{
+  public:
+    /** @param tag 0 = X-check detectors, 1 = Z-check detectors */
+    DecodingGraph(const DetectorErrorModel &dem, uint8_t tag);
+
+    size_t numNodes() const { return global_of_.size(); }
+    int boundaryNode() const { return static_cast<int>(numNodes()); }
+
+    /** Local node for a global detector id (-1 when not this tag). */
+    int localOf(uint32_t global_det) const;
+
+    /** Shortest-path distance between local nodes (boundaryNode() ok). */
+    double dist(int a, int b) const;
+
+    /** Observable parity along one shortest path between local nodes. */
+    bool obsParity(int a, int b) const;
+
+    static constexpr double kInf = std::numeric_limits<double>::infinity();
+
+  private:
+    void buildApsp();
+
+    struct Edge
+    {
+        int to;
+        double w;
+        bool obs;
+    };
+
+    std::vector<uint32_t> global_of_;
+    std::vector<int> local_of_;
+    std::vector<std::vector<Edge>> adj_; // index numNodes() = boundary
+    std::vector<std::vector<float>> dist_;
+    std::vector<BitVec> obs_;
+};
+
+} // namespace surf
+
+#endif // SURF_DECODE_GRAPH_HH

@@ -1,0 +1,75 @@
+#include "decode/memory_experiment.hh"
+
+#include <algorithm>
+
+#include "decode/mwpm.hh"
+#include "decode/union_find.hh"
+#include "sim/dem.hh"
+#include "sim/frame.hh"
+#include "util/stats.hh"
+
+namespace surf {
+
+MemoryExperimentResult
+runMemoryExperiment(const CodePatch &patch, const MemoryExperimentConfig &cfg)
+{
+    MemoryExperimentResult out;
+    out.rounds = static_cast<size_t>(cfg.spec.rounds);
+
+    const BuiltCircuit built = buildMemoryCircuit(patch, cfg.spec, cfg.noise);
+    // The decoder's error model: defect-unaware unless configured
+    // otherwise (the circuit structure is identical, only rates differ).
+    NoiseParams decoder_noise = cfg.noise;
+    if (!cfg.decoderKnowsDefects)
+        decoder_noise.defectiveSites.clear();
+    const BuiltCircuit decoder_view =
+        buildMemoryCircuit(patch, cfg.spec, decoder_noise);
+    const DetectorErrorModel dem =
+        buildDem(decoder_view.circuit, built.obsBasis);
+    out.numDetectors = dem.numDetectors;
+    out.decomposedHyperedges = dem.decomposedComponents;
+    out.undetectableObsProb = dem.undetectableObsProb;
+
+    // The observable lives on the graph of the checks that detect the
+    // corresponding errors (Z-check detectors for a Z-basis memory).
+    const uint8_t tag = (built.obsBasis == PauliType::Z) ? 1 : 0;
+    const MwpmDecoder mwpm(dem, tag);
+    const UnionFindDecoder uf(dem, tag);
+
+    uint64_t batch_seed = cfg.seed;
+    while (out.shots < cfg.maxShots && out.failures < cfg.targetFailures) {
+        const size_t batch = static_cast<size_t>(
+            std::min<uint64_t>(cfg.batchShots, cfg.maxShots - out.shots));
+        FrameSimulator sim(built.circuit, batch, batch_seed++);
+        for (size_t s = 0; s < batch; ++s) {
+            const auto fired = sim.firedDetectors(s);
+            bool predicted;
+            switch (cfg.decoder) {
+              case DecoderKind::Mwpm:
+                predicted = mwpm.decode(fired);
+                break;
+              case DecoderKind::UnionFind:
+                predicted = uf.decode(fired);
+                break;
+              case DecoderKind::Auto:
+              default:
+                predicted = (fired.size() <= cfg.mwpmDefectCap)
+                                ? mwpm.decode(fired)
+                                : uf.decode(fired);
+                break;
+            }
+            const bool actual = sim.observableBits(0).get(s);
+            if (predicted != actual)
+                ++out.failures;
+        }
+        out.shots += batch;
+    }
+
+    const auto est = estimateBinomial(out.failures, out.shots);
+    out.pShot = est.p;
+    out.se = est.stderr;
+    out.pRound = perRoundRate(out.pShot, out.rounds);
+    return out;
+}
+
+} // namespace surf

@@ -1,0 +1,78 @@
+#include "decode/mwpm.hh"
+
+#include <cmath>
+
+#include "decode/blossom.hh"
+#include "util/logging.hh"
+
+namespace surf {
+
+bool
+MwpmDecoder::decode(const std::vector<uint32_t> &fired_global) const
+{
+    std::vector<int> defects;
+    for (uint32_t g : fired_global) {
+        const int l = graph_.localOf(g);
+        if (l >= 0)
+            defects.push_back(l);
+    }
+    const int k = static_cast<int>(defects.size());
+    if (k == 0)
+        return false;
+    const int bnode = graph_.boundaryNode();
+
+    // Complete graph on defects plus one virtual boundary copy each:
+    // defect i <-> defect j at path distance, defect i <-> its own virtual
+    // at boundary distance, virtual <-> virtual free.
+    const int n = 2 * k;
+    constexpr double kScale = 1024.0;
+    std::vector<int64_t> w(static_cast<size_t>(n) * n, kMatchForbidden);
+    auto at = [&](int a, int b) -> int64_t & {
+        return w[static_cast<size_t>(a) * n + b];
+    };
+    for (int i = 0; i < k; ++i) {
+        for (int j = i + 1; j < k; ++j) {
+            const double d = graph_.dist(defects[static_cast<size_t>(i)],
+                                         defects[static_cast<size_t>(j)]);
+            if (std::isfinite(d)) {
+                const auto iw = static_cast<int64_t>(std::llround(d * kScale));
+                at(i, j) = iw;
+                at(j, i) = iw;
+            }
+        }
+        const double db =
+            graph_.dist(defects[static_cast<size_t>(i)], bnode);
+        if (std::isfinite(db)) {
+            const auto iw = static_cast<int64_t>(std::llround(db * kScale));
+            at(i, k + i) = iw;
+            at(k + i, i) = iw;
+        }
+        for (int j = 0; j < k; ++j)
+            if (j != i) {
+                at(k + i, k + j) = 0;
+                at(k + j, k + i) = 0;
+            }
+    }
+    const auto mate = minWeightPerfectMatching(n, w);
+    bool obs = false;
+    if (mate.empty()) {
+        // No perfect matching (disconnected leftovers): fall back to
+        // matching every defect to the boundary.
+        for (int i = 0; i < k; ++i)
+            obs ^= graph_.obsParity(defects[static_cast<size_t>(i)], bnode);
+        return obs;
+    }
+    for (int i = 0; i < k; ++i) {
+        const int m = mate[static_cast<size_t>(i)];
+        if (m < k) {
+            if (m > i)
+                obs ^= graph_.obsParity(defects[static_cast<size_t>(i)],
+                                        defects[static_cast<size_t>(m)]);
+        } else {
+            obs ^= graph_.obsParity(defects[static_cast<size_t>(i)], bnode);
+        }
+    }
+    return obs;
+}
+
+} // namespace surf

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Minimum-weight perfect-matching decoder (the PyMatching-equivalent):
+ * fired detectors are matched pairwise or to the boundary along shortest
+ * paths of the decoding graph; the predicted observable flip is the XOR
+ * of the observable parities along the matched paths.
+ */
+
+#ifndef SURF_DECODE_MWPM_HH
+#define SURF_DECODE_MWPM_HH
+
+#include <memory>
+
+#include "decode/graph.hh"
+
+namespace surf {
+
+/** MWPM decoder for one basis tag of a detector error model. */
+class MwpmDecoder
+{
+  public:
+    MwpmDecoder(const DetectorErrorModel &dem, uint8_t tag)
+        : graph_(dem, tag)
+    {
+    }
+
+    const DecodingGraph &graph() const { return graph_; }
+
+    /**
+     * Decode one shot: `fired_global` lists fired detector ids (global);
+     * detectors of other tags are ignored.
+     * @return predicted observable flip
+     */
+    bool decode(const std::vector<uint32_t> &fired_global) const;
+
+  private:
+    DecodingGraph graph_;
+};
+
+} // namespace surf
+
+#endif // SURF_DECODE_MWPM_HH

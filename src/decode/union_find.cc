@@ -1,0 +1,168 @@
+#include "decode/union_find.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <numeric>
+
+#include "util/logging.hh"
+
+namespace surf {
+
+UnionFindDecoder::UnionFindDecoder(const DetectorErrorModel &dem, uint8_t tag)
+{
+    local_of_.assign(dem.numDetectors, -1);
+    for (uint32_t d = 0; d < dem.numDetectors; ++d)
+        if (dem.detectorTag[d] == tag)
+            local_of_[d] = numNodes_++;
+    incident_.assign(static_cast<size_t>(numNodes_) + 1, {});
+    for (const DemEdge &e : dem.edges[tag]) {
+        const int a = (e.a < 0) ? numNodes_
+                                : local_of_[static_cast<size_t>(e.a)];
+        const int b = (e.b < 0) ? numNodes_
+                                : local_of_[static_cast<size_t>(e.b)];
+        if (a == b)
+            continue;
+        const double p = std::clamp(e.p, 1e-14, 0.499999);
+        const double w = std::log((1.0 - p) / p);
+        const int units = std::max<int>(1, static_cast<int>(
+                                               std::llround(4.0 * w)));
+        const int id = static_cast<int>(edges_.size());
+        edges_.push_back({a, b, units, e.flipsObs});
+        incident_[static_cast<size_t>(a)].push_back(id);
+        incident_[static_cast<size_t>(b)].push_back(id);
+    }
+}
+
+bool
+UnionFindDecoder::decode(const std::vector<uint32_t> &fired_global) const
+{
+    const int nb = numNodes_; // boundary node id
+    std::vector<uint8_t> defect(static_cast<size_t>(numNodes_) + 1, 0);
+    int n_defects = 0;
+    for (uint32_t g : fired_global) {
+        const int l = local_of_[g];
+        if (l >= 0) {
+            defect[static_cast<size_t>(l)] ^= 1;
+            ++n_defects;
+        }
+    }
+    if (n_defects == 0)
+        return false;
+
+    // Union-find with cluster parity and boundary flags.
+    std::vector<int> parent(static_cast<size_t>(numNodes_) + 1);
+    std::iota(parent.begin(), parent.end(), 0);
+    std::vector<uint8_t> parity(defect);
+    std::vector<uint8_t> has_boundary(static_cast<size_t>(numNodes_) + 1, 0);
+    has_boundary[static_cast<size_t>(nb)] = 1;
+    std::function<int(int)> find = [&](int v) {
+        while (parent[static_cast<size_t>(v)] != v) {
+            parent[static_cast<size_t>(v)] =
+                parent[static_cast<size_t>(parent[static_cast<size_t>(v)])];
+            v = parent[static_cast<size_t>(v)];
+        }
+        return v;
+    };
+
+    std::vector<int> growth(edges_.size(), 0);
+    std::vector<uint8_t> fused(edges_.size(), 0);
+    std::vector<int> forest; // edges that performed a union (spanning)
+    auto active = [&](int root) {
+        return parity[static_cast<size_t>(root)] &&
+               !has_boundary[static_cast<size_t>(root)];
+    };
+
+    bool any_active = true;
+    int guard = 0;
+    while (any_active) {
+        SURF_ASSERT(++guard < 100000, "union-find growth failed to halt");
+        any_active = false;
+        // Grow every edge incident to an active cluster.
+        for (size_t e = 0; e < edges_.size(); ++e) {
+            if (fused[e])
+                continue;
+            const int ra = find(edges_[e].a), rb = find(edges_[e].b);
+            if (ra == rb) {
+                fused[e] = 1;
+                continue;
+            }
+            int add = 0;
+            if (active(ra))
+                ++add;
+            if (active(rb))
+                ++add;
+            if (add == 0)
+                continue;
+            growth[e] += add;
+            if (growth[e] >= edges_[e].units) {
+                fused[e] = 1;
+                forest.push_back(static_cast<int>(e));
+                // Union rb into ra.
+                parent[static_cast<size_t>(rb)] = ra;
+                parity[static_cast<size_t>(ra)] ^=
+                    parity[static_cast<size_t>(rb)];
+                has_boundary[static_cast<size_t>(ra)] |=
+                    has_boundary[static_cast<size_t>(rb)];
+            }
+        }
+        for (int v = 0; v <= numNodes_; ++v)
+            if (find(v) == v && active(v)) {
+                any_active = true;
+                break;
+            }
+    }
+
+    // Peeling over the spanning forest: include an edge iff the subtree
+    // hanging off it has odd defect parity. Roots prefer the boundary.
+    std::vector<std::vector<std::pair<int, int>>> tree(
+        static_cast<size_t>(numNodes_) + 1); // node -> (edge, other)
+    for (int e : forest) {
+        tree[static_cast<size_t>(edges_[static_cast<size_t>(e)].a)]
+            .push_back({e, edges_[static_cast<size_t>(e)].b});
+        tree[static_cast<size_t>(edges_[static_cast<size_t>(e)].b)]
+            .push_back({e, edges_[static_cast<size_t>(e)].a});
+    }
+    std::vector<uint8_t> visited(static_cast<size_t>(numNodes_) + 1, 0);
+    bool obs = false;
+    // Iterative post-order from each root; boundary first so boundary
+    // clusters are rooted there.
+    std::vector<int> order;
+    std::vector<std::pair<int, int>> parent_edge(
+        static_cast<size_t>(numNodes_) + 1, {-1, -1});
+    auto bfs_from = [&](int root) {
+        visited[static_cast<size_t>(root)] = 1;
+        std::vector<int> queue{root};
+        for (size_t h = 0; h < queue.size(); ++h) {
+            const int v = queue[h];
+            order.push_back(v);
+            for (const auto &[e, to] : tree[static_cast<size_t>(v)]) {
+                if (!visited[static_cast<size_t>(to)]) {
+                    visited[static_cast<size_t>(to)] = 1;
+                    parent_edge[static_cast<size_t>(to)] = {e, v};
+                    queue.push_back(to);
+                }
+            }
+        }
+    };
+    bfs_from(nb);
+    for (int v = 0; v < numNodes_; ++v)
+        if (!visited[static_cast<size_t>(v)] &&
+            !tree[static_cast<size_t>(v)].empty())
+            bfs_from(v);
+    std::vector<uint8_t> sub(defect);
+    for (size_t i = order.size(); i-- > 0;) {
+        const int v = order[static_cast<size_t>(i)];
+        const auto &[e, par] = parent_edge[static_cast<size_t>(v)];
+        if (e < 0)
+            continue;
+        if (sub[static_cast<size_t>(v)]) {
+            obs ^= edges_[static_cast<size_t>(e)].obs;
+            sub[static_cast<size_t>(par)] ^= 1;
+            sub[static_cast<size_t>(v)] = 0;
+        }
+    }
+    return obs;
+}
+
+} // namespace surf

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Union-Find decoder (Delfosse-Nickerson weighted cluster growth plus
+ * peeling). Almost-linear-time alternative to MWPM with slightly worse
+ * accuracy; used as an ablation decoder and as the fast path for very
+ * high defect densities.
+ */
+
+#ifndef SURF_DECODE_UNION_FIND_HH
+#define SURF_DECODE_UNION_FIND_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/dem.hh"
+
+namespace surf {
+
+/** Union-find decoder over one basis tag of a detector error model. */
+class UnionFindDecoder
+{
+  public:
+    UnionFindDecoder(const DetectorErrorModel &dem, uint8_t tag);
+
+    /** Decode one shot; returns the predicted observable flip. */
+    bool decode(const std::vector<uint32_t> &fired_global) const;
+
+  private:
+    struct Edge
+    {
+        int a, b;      ///< node ids; boundary = numNodes_
+        int units;     ///< quantized weight (growth units)
+        bool obs;
+    };
+
+    int numNodes_ = 0;
+    std::vector<int> local_of_;
+    std::vector<Edge> edges_;
+    std::vector<std::vector<int>> incident_; // node -> edge indices
+};
+
+} // namespace surf
+
+#endif // SURF_DECODE_UNION_FIND_HH

@@ -1,0 +1,90 @@
+#include "defects/defect_sampler.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace surf {
+
+std::set<Coord>
+DefectSampler::regionSites(Coord center, int diameter)
+{
+    // `diameter` counts data qubits across the region; in doubled lattice
+    // coordinates that is a Chebyshev radius of diameter - 1 (a diameter-4
+    // region covers ~25 sites, the paper's 24 affected qubits).
+    const int radius = std::max(0, diameter - 1);
+    std::set<Coord> sites;
+    for (int dx = -radius; dx <= radius; ++dx)
+        for (int dy = -radius; dy <= radius; ++dy) {
+            const Coord c{center.x + dx, center.y + dy};
+            if (c.isDataSite() || c.isCheckSite())
+                sites.insert(c);
+        }
+    return sites;
+}
+
+std::vector<DefectEvent>
+DefectSampler::sampleEvents(const CodePatch &patch, uint64_t cycles)
+{
+    std::vector<DefectEvent> events;
+    const double per_cycle =
+        params_.eventRatePerQubitCycle() *
+        static_cast<double>(patch.numPhysicalQubits());
+    if (per_cycle <= 0.0)
+        return events;
+    const uint64_t duration = params_.durationCycles();
+    uint64_t cycle = rng_.geometricSkip(per_cycle);
+    while (cycle < cycles) {
+        DefectEvent ev;
+        ev.startCycle = cycle;
+        ev.endCycle = cycle + duration;
+        // Uniform center over the patch footprint.
+        const int w = patch.xMax() - patch.xMin() + 1;
+        const int h = patch.yMax() - patch.yMin() + 1;
+        ev.center = {patch.xMin() + static_cast<int>(rng_.below(
+                                        static_cast<uint64_t>(w))),
+                     patch.yMin() + static_cast<int>(rng_.below(
+                                        static_cast<uint64_t>(h)))};
+        ev.sites = regionSites(ev.center, params_.regionDiameter);
+        events.push_back(std::move(ev));
+        const uint64_t skip = rng_.geometricSkip(per_cycle);
+        if (skip >= cycles - cycle)
+            break;
+        cycle += skip + 1;
+    }
+    return events;
+}
+
+std::set<Coord>
+DefectSampler::activeSites(const std::vector<DefectEvent> &events,
+                           uint64_t cycle)
+{
+    std::set<Coord> active;
+    for (const auto &ev : events)
+        if (ev.startCycle <= cycle && cycle < ev.endCycle)
+            active.insert(ev.sites.begin(), ev.sites.end());
+    return active;
+}
+
+std::set<Coord>
+DefectSampler::sampleStaticFaults(const CodePatch &patch, int k)
+{
+    std::vector<Coord> candidates = patch.dataList();
+    for (const auto &c : patch.checks())
+        if (c.ancilla)
+            candidates.push_back(*c.ancilla);
+    std::sort(candidates.begin(), candidates.end());
+    candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                     candidates.end());
+    SURF_ASSERT(k >= 0 &&
+                static_cast<size_t>(k) <= candidates.size(),
+                "more faults than qubits");
+    const auto idx = rng_.sampleWithoutReplacement(
+        static_cast<uint32_t>(candidates.size()), static_cast<uint32_t>(k));
+    std::set<Coord> out;
+    for (uint32_t i : idx)
+        out.insert(candidates[i]);
+    return out;
+}
+
+} // namespace surf

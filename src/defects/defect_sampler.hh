@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Dynamic and static defect sampling (paper Sec. VII-A). Dynamic defects
+ * follow the cosmic-ray model of McEwen et al.: per-qubit Poisson events,
+ * each saturating a compact region of ~24 qubits for ~25,000 QEC cycles.
+ * Static defects model fabrication faults for the yield study (fig. 13b).
+ */
+
+#ifndef SURF_DEFECTS_DEFECT_SAMPLER_HH
+#define SURF_DEFECTS_DEFECT_SAMPLER_HH
+
+#include <set>
+#include <vector>
+
+#include "core/layout_gen.hh"
+#include "lattice/patch.hh"
+#include "util/rng.hh"
+
+namespace surf {
+
+/** One multi-bit burst event. */
+struct DefectEvent
+{
+    uint64_t startCycle = 0;
+    uint64_t endCycle = 0;     ///< exclusive
+    Coord center;
+    std::set<Coord> sites;     ///< affected lattice sites (data + checks)
+};
+
+/** Samples defect events and static faults. */
+class DefectSampler
+{
+  public:
+    DefectSampler(DefectModelParams params, uint64_t seed)
+        : params_(params), rng_(seed)
+    {
+    }
+
+    const DefectModelParams &params() const { return params_; }
+
+    /**
+     * All lattice sites within Chebyshev distance `diameter` of the
+     * center: approximately 2 * (diameter+1)^2 / 2 qubits, matching the
+     * paper's 24-qubit affected region for diameter 4.
+     */
+    static std::set<Coord> regionSites(Coord center, int diameter);
+
+    /**
+     * Sample burst events striking a rectangular patch footprint over a
+     * time window. The per-cycle event rate is (#physical qubits) x
+     * (per-qubit rate); each event picks a uniform center in the
+     * footprint and persists for the model duration.
+     */
+    std::vector<DefectEvent> sampleEvents(const CodePatch &patch,
+                                          uint64_t cycles);
+
+    /** Active defective sites at a given cycle. */
+    static std::set<Coord> activeSites(const std::vector<DefectEvent> &events,
+                                       uint64_t cycle);
+
+    /** Uniformly sample k distinct static faulty sites on a patch
+     *  (data or syndrome qubits). */
+    std::set<Coord> sampleStaticFaults(const CodePatch &patch, int k);
+
+    Rng &rng() { return rng_; }
+
+  private:
+    DefectModelParams params_;
+    Rng rng_;
+};
+
+} // namespace surf
+
+#endif // SURF_DEFECTS_DEFECT_SAMPLER_HH

@@ -1,0 +1,25 @@
+#include "defects/detector_model.hh"
+
+namespace surf {
+
+std::set<Coord>
+DetectorModel::observe(const std::set<Coord> &true_defects,
+                       const CodePatch &patch, Rng &rng) const
+{
+    std::set<Coord> observed;
+    for (const Coord &c : true_defects)
+        if (!rng.bernoulli(falseNegative))
+            observed.insert(c);
+    if (falsePositive > 0.0) {
+        for (const Coord &q : patch.dataQubits())
+            if (!true_defects.count(q) && rng.bernoulli(falsePositive))
+                observed.insert(q);
+        for (const auto &c : patch.checks())
+            if (c.ancilla && !true_defects.count(*c.ancilla) &&
+                rng.bernoulli(falsePositive))
+                observed.insert(*c.ancilla);
+    }
+    return observed;
+}
+
+} // namespace surf

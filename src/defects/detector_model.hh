@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Defect-detector model (paper Sec. VII-E / fig. 14b): hardware detectors
+ * locate defective qubits with small false-positive and false-negative
+ * probabilities; the deformation unit acts on the *observed* defect set
+ * while the noise acts on the *true* one.
+ */
+
+#ifndef SURF_DEFECTS_DETECTOR_MODEL_HH
+#define SURF_DEFECTS_DETECTOR_MODEL_HH
+
+#include <set>
+
+#include "lattice/patch.hh"
+#include "util/rng.hh"
+
+namespace surf {
+
+/** Imperfect defect detection. */
+struct DetectorModel
+{
+    double falsePositive = 0.0; ///< P(report defect | healthy qubit)
+    double falseNegative = 0.0; ///< P(miss defect | defective qubit)
+
+    /**
+     * Observed defect set: each true defect is missed with probability
+     * falseNegative; each healthy site is flagged with probability
+     * falsePositive.
+     */
+    std::set<Coord> observe(const std::set<Coord> &true_defects,
+                            const CodePatch &patch, Rng &rng) const;
+};
+
+} // namespace surf
+
+#endif // SURF_DEFECTS_DETECTOR_MODEL_HH

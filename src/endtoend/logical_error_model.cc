@@ -1,0 +1,68 @@
+#include "endtoend/logical_error_model.hh"
+
+#include <cmath>
+#include <vector>
+
+#include "decode/memory_experiment.hh"
+#include "lattice/rotated.hh"
+#include "util/logging.hh"
+#include "util/stats.hh"
+
+namespace surf {
+
+double
+LogicalErrorModel::perRound(double d) const
+{
+    if (d <= 0.0)
+        return 0.5; // destroyed logical qubit: coin flip per round
+    const double p = A * std::pow(Lambda, -(d + 1.0) / 2.0);
+    return std::min(p, 0.5);
+}
+
+double
+LogicalErrorModel::failureOver(double d, double rounds) const
+{
+    const double p = perRound(d);
+    if (p >= 0.5)
+        return 1.0;
+    return 1.0 - std::pow(1.0 - p, rounds);
+}
+
+LogicalErrorModel
+LogicalErrorModel::calibrate(double p, uint64_t max_shots, uint64_t seed,
+                             bool include_d7)
+{
+    std::vector<double> ds, logps;
+    std::vector<int> distances{3, 5};
+    if (include_d7)
+        distances.push_back(7);
+    for (int d : distances) {
+        MemoryExperimentConfig cfg;
+        cfg.spec.rounds = d;
+        cfg.noise.p = p;
+        cfg.maxShots = max_shots;
+        cfg.targetFailures = 400;
+        cfg.seed = seed + static_cast<uint64_t>(d);
+        const auto res = runMemoryExperiment(squarePatch(d), cfg);
+        if (res.failures < 3)
+            break; // too clean to fit further points
+        ds.push_back(static_cast<double>(d));
+        logps.push_back(std::log(res.pRound));
+    }
+    LogicalErrorModel model;
+    if (ds.size() >= 2) {
+        // log p = log A - (d+1)/2 log Lambda: linear in d.
+        std::vector<double> xs;
+        for (double d : ds)
+            xs.push_back((d + 1.0) / 2.0);
+        const auto [a, b] = linearFit(xs, logps);
+        model.A = std::exp(a);
+        model.Lambda = std::exp(-b);
+        SURF_ASSERT(model.Lambda > 1.0,
+                    "calibration found no error suppression; p = ", p,
+                    " is above threshold");
+    }
+    return model;
+}
+
+} // namespace surf

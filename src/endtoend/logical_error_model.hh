@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Parametric logical-error-rate model: the standard exponential
+ * suppression law p_L(d) = A * Lambda^{-(d+1)/2}, calibrated by running
+ * the repository's own Monte-Carlo memory experiments at simulable
+ * distances and extrapolated for the Table-II code distances (the same
+ * resource-estimation practice as Gidney-Ekera). Distance-loss events map
+ * to p_L(d_eff).
+ */
+
+#ifndef SURF_ENDTOEND_LOGICAL_ERROR_MODEL_HH
+#define SURF_ENDTOEND_LOGICAL_ERROR_MODEL_HH
+
+#include <cstdint>
+
+namespace surf {
+
+/** Exponential-suppression logical error model (per round). */
+struct LogicalErrorModel
+{
+    /** Per-round logical error rate at distance d: A / Lambda^{(d+1)/2}. */
+    double A = 0.08;
+    double Lambda = 7.0;
+
+    double perRound(double d) const;
+
+    /** Failure probability over `rounds` rounds at distance d. */
+    double failureOver(double d, double rounds) const;
+
+    /**
+     * Calibrate (A, Lambda) from Monte-Carlo memory experiments at small
+     * distances (d = 3, 5[, 7]) under physical rate p. Expensive; bench
+     * harnesses call this once and share the result.
+     *
+     * @param max_shots sampling budget per distance
+     */
+    static LogicalErrorModel calibrate(double p, uint64_t max_shots = 200000,
+                                       uint64_t seed = 99, bool include_d7 = false);
+};
+
+} // namespace surf
+
+#endif // SURF_ENDTOEND_LOGICAL_ERROR_MODEL_HH

@@ -1,0 +1,28 @@
+#include "endtoend/programs.hh"
+
+namespace surf {
+
+std::vector<BenchmarkProgram>
+paperPrograms()
+{
+    // Name, #CX, #T, #qubit, d_low, d_high (paper Table II).
+    return {
+        {"Simon-400-1000", 302000, 0, 400, 19, 21},
+        {"Simon-900-1500", 1010000, 0, 900, 21, 23},
+        {"RCA-225-500", 896000, 784000, 225, 21, 23},
+        {"RCA-729-100", 582000, 510000, 729, 21, 23},
+        {"QFT-25-160", 102000, 187000000, 25, 23, 25},
+        {"QFT-100-20", 230000, 1580000000, 100, 25, 27},
+        {"Grover-9-80", 136000, 199000000, 9, 23, 25},
+        {"Grover-16-2", 429000, 1130000000, 16, 25, 27},
+    };
+}
+
+std::vector<BenchmarkProgram>
+fig12Programs()
+{
+    auto all = paperPrograms();
+    return {all[1], all[3], all[5], all[7]};
+}
+
+} // namespace surf

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * The paper's benchmark programs (Table II): quantum programs
+ * characterized by logical-qubit count, CNOT count and T count, compiled
+ * onto lattice-surgery layouts. The "-N-R" suffixes follow the paper's
+ * naming: N logical qubits, R repetitions/layers.
+ */
+
+#ifndef SURF_ENDTOEND_PROGRAMS_HH
+#define SURF_ENDTOEND_PROGRAMS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace surf {
+
+/** One benchmark program row of Table II. */
+struct BenchmarkProgram
+{
+    std::string name;
+    uint64_t numCx = 0;
+    uint64_t numT = 0;
+    int numQubits = 0;
+    /** The two code distances evaluated in Table II. */
+    int dLow = 0;
+    int dHigh = 0;
+};
+
+/** The eight Table-II programs with the paper's gate counts. */
+std::vector<BenchmarkProgram> paperPrograms();
+
+/** The four programs used in fig. 12 / fig. 13a. */
+std::vector<BenchmarkProgram> fig12Programs();
+
+} // namespace surf
+
+#endif // SURF_ENDTOEND_PROGRAMS_HH

@@ -1,0 +1,160 @@
+#include "endtoend/retry_risk.hh"
+
+#include <cmath>
+#include <map>
+#include <tuple>
+
+#include "defects/defect_sampler.hh"
+#include "lattice/rotated.hh"
+#include "util/logging.hh"
+
+namespace surf {
+
+double
+measuredDistanceLoss(Strategy s, int d_cal, int delta_d, int samples,
+                     uint64_t seed, int region_diameter)
+{
+    using Key = std::tuple<int, int, int, int, uint64_t, int>;
+    static std::map<Key, double> cache;
+    const Key key{static_cast<int>(s), d_cal, delta_d, samples, seed,
+                  region_diameter};
+    if (auto it = cache.find(key); it != cache.end())
+        return it->second;
+
+    // Lattice Surgery / Q3DE leave the saturated region inside the code:
+    // the decoder gets no usable information there AND the defective
+    // qubits keep injecting errors that spread through syndrome
+    // measurement. Model the loss as the measured ASC-S removal loss plus
+    // a spreading penalty of one region diameter (consistent with the
+    // fig. 11a untreated-versus-removed gap at simulable sizes).
+    if (s == Strategy::LatticeSurgery || s == Strategy::Q3de ||
+        s == Strategy::Q3deRevised) {
+        const double loss =
+            measuredDistanceLoss(Strategy::Ascs, d_cal, delta_d, samples,
+                                 seed, region_diameter) +
+            region_diameter;
+        cache[key] = loss;
+        return loss;
+    }
+
+    Rng rng(seed);
+    const CodePatch ref = squarePatch(d_cal);
+    double total = 0.0;
+    int counted = 0;
+    for (int i = 0; i < samples; ++i) {
+        const Coord center{
+            ref.xMin() + static_cast<int>(rng.below(
+                             static_cast<uint64_t>(2 * d_cal - 1))),
+            ref.yMin() + static_cast<int>(rng.below(
+                             static_cast<uint64_t>(2 * d_cal - 1)))};
+        const auto sites = DefectSampler::regionSites(center,
+                                                      region_diameter);
+        const auto out = applyStrategy(s, d_cal, delta_d, sites);
+        if (!out.alive) {
+            total += d_cal; // destroyed patch: count the full distance
+            ++counted;
+            continue;
+        }
+        total += static_cast<double>(d_cal) -
+                 static_cast<double>(out.minDist());
+        ++counted;
+    }
+    const double loss = counted ? total / counted : 0.0;
+    cache[key] = loss;
+    return loss;
+}
+
+RetryRiskResult
+estimateRetryRisk(const BenchmarkProgram &program, const RetryRiskConfig &cfg)
+{
+    RetryRiskResult out;
+    LayoutGenerator gen(cfg.defectModel);
+
+    // Tiles: program qubits plus magic-state factory tiles when T gates
+    // are present (a tenth of the footprint, at least one).
+    int tiles = program.numQubits;
+    if (program.numT > 0)
+        tiles += std::max(1, program.numQubits / 10);
+    const auto plan =
+        gen.plan(tiles, cfg.d, schemeOf(cfg.strategy), cfg.alphaBlock);
+    out.physicalQubits = plan.physicalQubits;
+    out.deltaD = plan.deltaD;
+
+    // Runtime model: one lattice-surgery step = d QEC rounds.
+    const double cx_parallel = std::max(1.0, tiles / cfg.cxDivisor);
+    const double t_parallel = std::max(1.0, tiles / cfg.tDivisor);
+    const double steps =
+        std::ceil(static_cast<double>(program.numCx) / cx_parallel) +
+        std::ceil(static_cast<double>(program.numT) / t_parallel);
+    const double rounds = steps * cfg.d;
+    out.runtimeCycles = rounds;
+
+    // Baseline space-time logical risk (no defects).
+    const double base_risk =
+        static_cast<double>(tiles) * rounds * cfg.errorModel.perRound(cfg.d);
+
+    // Dynamic defects: expected events over the run across the machine.
+    const double runtime_sec = rounds * cfg.defectModel.cycleTimeSec;
+    const double event_rate_per_sec =
+        cfg.defectModel.eventRatePerQubitSec *
+        static_cast<double>(out.physicalQubits);
+    out.expectedEvents = event_rate_per_sec * runtime_sec;
+    const double duration_rounds =
+        static_cast<double>(cfg.defectModel.durationCycles());
+
+    // Per-event excess risk: p_L at the degraded distance for the event
+    // duration, minus the baseline already counted for that window.
+    const double loss = measuredDistanceLoss(
+        cfg.strategy, cfg.lossCalibrationD, plan.deltaD, cfg.lossSamples,
+        cfg.seed, cfg.defectModel.regionDiameter);
+    out.meanDistanceLoss = loss;
+
+    double d_eff;
+    double exposure_rounds = duration_rounds;
+    switch (cfg.strategy) {
+      case Strategy::SurfDeformer:
+        // Removal + enlargement restores the distance within one cycle;
+        // the residual measured loss applies only during the detection
+        // latency (~2 rounds of syndrome statistics), after which the
+        // only deficit is the measured post-restoration loss (usually 0).
+        d_eff = cfg.d - (cfg.defectModel.regionDiameter + loss);
+        exposure_rounds = 2.0;
+        break;
+      case Strategy::Ascs:
+        d_eff = cfg.d - loss;
+        break;
+      default:
+        d_eff = (cfg.strategy == Strategy::LatticeSurgery)
+                    ? cfg.d - loss
+                    : 2.0 * cfg.d - loss; // Q3DE doubles the patch
+        break;
+    }
+    double per_event =
+        cfg.errorModel.perRound(d_eff) * exposure_rounds;
+    if (cfg.strategy == Strategy::SurfDeformer) {
+        // After restoration the code is back at distance >= d for the
+        // rest of the event window: already covered by base_risk, plus
+        // the small residual loss if enlargement was capped.
+        per_event += cfg.errorModel.perRound(cfg.d - loss) *
+                     (duration_rounds - exposure_rounds) *
+                     (loss > 0.0 ? 1.0 : 0.0);
+    }
+    const double excess_risk = out.expectedEvents * per_event;
+
+    // Q3DE's fixed layout: an enlarged patch blocks its channels for the
+    // whole event duration. When blocked tiles saturate the fabric the
+    // program stalls indefinitely (paper: OverRuntime).
+    if (cfg.strategy == Strategy::Q3de) {
+        const double concurrent_events =
+            event_rate_per_sec * cfg.defectModel.durationSec;
+        if (concurrent_events >
+            cfg.overRuntimeFraction * static_cast<double>(tiles)) {
+            out.overRuntime = true;
+        }
+    }
+
+    out.retryRisk = 1.0 - std::exp(-(base_risk + excess_risk));
+    return out;
+}
+
+} // namespace surf

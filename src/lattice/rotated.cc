@@ -1,0 +1,78 @@
+#include "lattice/rotated.hh"
+
+#include "util/logging.hh"
+
+namespace surf {
+
+PauliType
+vertexType(Coord vertex)
+{
+    SURF_ASSERT(vertex.isCheckSite(), "not a check site: ", vertex.str());
+    const int a = vertex.x / 2, b = vertex.y / 2;
+    return (((a + b) % 2) + 2) % 2 == 0 ? PauliType::X : PauliType::Z;
+}
+
+CodePatch
+rectangularPatch(int dx, int dz, Coord origin)
+{
+    SURF_ASSERT(dx >= 1 && dz >= 1, "degenerate patch ", dx, "x", dz);
+    SURF_ASSERT(origin.x % 2 == 0 && origin.y % 2 == 0,
+                "patch origin must be even-even");
+
+    CodePatch patch;
+    for (int i = 0; i < dx; ++i)
+        for (int j = 0; j < dz; ++j)
+            patch.addData({origin.x + 2 * i + 1, origin.y + 2 * j + 1});
+    patch.setBounds(origin.x + 1, origin.x + 2 * dx - 1,
+                    origin.y + 1, origin.y + 2 * dz - 1);
+
+    // Candidate check vertices cover the closed dual grid.
+    for (int a = 0; a <= dx; ++a) {
+        for (int b = 0; b <= dz; ++b) {
+            const Coord v{origin.x + 2 * a, origin.y + 2 * b};
+            std::vector<Coord> nbrs;
+            for (int sx : {-1, 1})
+                for (int sy : {-1, 1}) {
+                    Coord q{v.x + sx, v.y + sy};
+                    if (patch.hasData(q))
+                        nbrs.push_back(q);
+                }
+            const PauliType t = vertexType(v);
+            bool host = false;
+            if (nbrs.size() == 4) {
+                host = true;
+            } else if (nbrs.size() == 2) {
+                // Boundary half-check: hosted only when its type matches
+                // the boundary type of the side it sits on.
+                Side side;
+                if (b == 0)
+                    side = Side::North;
+                else if (b == dz)
+                    side = Side::South;
+                else if (a == 0)
+                    side = Side::West;
+                else
+                    side = Side::East;
+                host = (CodePatch::boundaryType(side) == t);
+            }
+            if (host) {
+                Check c;
+                c.type = t;
+                c.support = nbrs;
+                c.ancilla = v;
+                patch.addCheck(std::move(c));
+            }
+        }
+    }
+
+    std::vector<Coord> lz, lx;
+    for (int j = 0; j < dz; ++j)
+        lz.push_back({origin.x + 1, origin.y + 2 * j + 1});
+    for (int i = 0; i < dx; ++i)
+        lx.push_back({origin.x + 2 * i + 1, origin.y + 1});
+    patch.setLogicalZ(std::move(lz));
+    patch.setLogicalX(std::move(lx));
+    return patch;
+}
+
+} // namespace surf

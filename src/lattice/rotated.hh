@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Construction of pristine rectangular rotated surface code patches
+ * (paper Sec. II-A, fig. 2a).
+ */
+
+#ifndef SURF_LATTICE_ROTATED_HH
+#define SURF_LATTICE_ROTATED_HH
+
+#include "lattice/patch.hh"
+
+namespace surf {
+
+/**
+ * Build a dx-by-dz rotated surface code patch.
+ *
+ * Data qubits sit at origin + (2i+1, 2j+1) for 0 <= i < dx, 0 <= j < dz.
+ * North/south boundaries host Z-type half-checks (Z-boundaries); east/west
+ * host X-type half-checks (X-boundaries). The Z-logical representative is
+ * the west data column (length dz) and the X-logical representative is the
+ * north data row (length dx), so X-distance = dx and Z-distance = dz.
+ *
+ * @param dx code distance against Z errors (width in data qubits)
+ * @param dz code distance against X errors (height in data qubits)
+ * @param origin lattice offset of the patch (must be even-even)
+ */
+CodePatch rectangularPatch(int dx, int dz, Coord origin = {0, 0});
+
+/** Square distance-d patch (dx == dz == d). */
+inline CodePatch
+squarePatch(int d, Coord origin = {0, 0})
+{
+    return rectangularPatch(d, d, origin);
+}
+
+/**
+ * Check-site type at a lattice vertex: X iff (x/2 + y/2) is even.
+ * The vertex coordinates are absolute (even-even).
+ */
+PauliType vertexType(Coord vertex);
+
+} // namespace surf
+
+#endif // SURF_LATTICE_ROTATED_HH

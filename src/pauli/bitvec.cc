@@ -1,0 +1,86 @@
+#include "pauli/bitvec.hh"
+
+#include <bit>
+
+#include "util/logging.hh"
+
+namespace surf {
+
+BitVec &
+BitVec::operator^=(const BitVec &other)
+{
+    SURF_ASSERT(nbits_ == other.nbits_, "BitVec length mismatch");
+    for (size_t w = 0; w < words_.size(); ++w)
+        words_[w] ^= other.words_[w];
+    return *this;
+}
+
+size_t
+BitVec::popcount() const
+{
+    size_t total = 0;
+    for (uint64_t w : words_)
+        total += static_cast<size_t>(std::popcount(w));
+    return total;
+}
+
+bool
+BitVec::andParity(const BitVec &other) const
+{
+    SURF_ASSERT(nbits_ == other.nbits_, "BitVec length mismatch");
+    uint64_t acc = 0;
+    for (size_t w = 0; w < words_.size(); ++w)
+        acc ^= words_[w] & other.words_[w];
+    return std::popcount(acc) & 1;
+}
+
+bool
+BitVec::isZero() const
+{
+    for (uint64_t w : words_)
+        if (w)
+            return false;
+    return true;
+}
+
+size_t
+BitVec::lowestSetBit() const
+{
+    for (size_t w = 0; w < words_.size(); ++w)
+        if (words_[w])
+            return w * 64 + static_cast<size_t>(std::countr_zero(words_[w]));
+    return nbits_;
+}
+
+void
+BitVec::clear()
+{
+    for (auto &w : words_)
+        w = 0;
+}
+
+std::vector<size_t>
+BitVec::onesPositions() const
+{
+    std::vector<size_t> out;
+    for (size_t w = 0; w < words_.size(); ++w) {
+        uint64_t bits = words_[w];
+        while (bits) {
+            out.push_back(w * 64 + static_cast<size_t>(std::countr_zero(bits)));
+            bits &= bits - 1;
+        }
+    }
+    return out;
+}
+
+std::string
+BitVec::str() const
+{
+    std::string s(nbits_, '0');
+    for (size_t i = 0; i < nbits_; ++i)
+        if (get(i))
+            s[i] = '1';
+    return s;
+}
+
+} // namespace surf

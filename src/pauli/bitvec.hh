@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Dynamic bit vector over 64-bit words: the workhorse of the GF(2)
+ * linear algebra used by the stabilizer formalism and the simulators.
+ */
+
+#ifndef SURF_PAULI_BITVEC_HH
+#define SURF_PAULI_BITVEC_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace surf {
+
+/** Fixed-length vector over GF(2), bit-packed into uint64 words. */
+class BitVec
+{
+  public:
+    BitVec() : nbits_(0) {}
+    explicit BitVec(size_t nbits) : nbits_(nbits), words_((nbits + 63) / 64, 0) {}
+
+    size_t size() const { return nbits_; }
+    size_t wordCount() const { return words_.size(); }
+
+    bool get(size_t i) const { return (words_[i >> 6] >> (i & 63)) & 1; }
+
+    void
+    set(size_t i, bool v)
+    {
+        const uint64_t mask = uint64_t{1} << (i & 63);
+        if (v)
+            words_[i >> 6] |= mask;
+        else
+            words_[i >> 6] &= ~mask;
+    }
+
+    void flip(size_t i) { words_[i >> 6] ^= uint64_t{1} << (i & 63); }
+
+    /** XOR another vector of the same length into this one. */
+    BitVec &operator^=(const BitVec &other);
+
+    bool operator==(const BitVec &other) const = default;
+
+    /** Hamming weight. */
+    size_t popcount() const;
+
+    /** Parity of the AND with another vector (symplectic building block). */
+    bool andParity(const BitVec &other) const;
+
+    /** True if every bit is zero. */
+    bool isZero() const;
+
+    /** Index of the lowest set bit, or size() if none. */
+    size_t lowestSetBit() const;
+
+    /** Set all bits to zero, keeping the length. */
+    void clear();
+
+    /** List of set-bit indices. */
+    std::vector<size_t> onesPositions() const;
+
+    /** '0'/'1' string, index 0 first. */
+    std::string str() const;
+
+    uint64_t word(size_t w) const { return words_[w]; }
+    uint64_t &word(size_t w) { return words_[w]; }
+
+  private:
+    size_t nbits_;
+    std::vector<uint64_t> words_;
+};
+
+} // namespace surf
+
+#endif // SURF_PAULI_BITVEC_HH

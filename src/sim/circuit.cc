@@ -1,0 +1,89 @@
+#include "sim/circuit.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace surf {
+
+size_t
+Circuit::append(Op op, std::vector<uint32_t> targets, double arg)
+{
+    SURF_ASSERT(op != Op::Detector && op != Op::ObservableInclude,
+                "use appendDetector/appendObservable");
+    if (op == Op::CX || op == Op::Depolarize2)
+        SURF_ASSERT(targets.size() % 2 == 0, "pairwise op needs even targets");
+    if (isNoiseOp(op))
+        SURF_ASSERT(arg >= 0.0 && arg <= 1.0, "bad noise probability ", arg);
+    for (uint32_t t : targets)
+        num_qubits_ = std::max(num_qubits_, t + 1);
+    const size_t first_meas = num_measurements_;
+    if (op == Op::MeasureZ || op == Op::MeasureX)
+        num_measurements_ += targets.size();
+    instrs_.push_back({op, std::move(targets), arg, 0});
+    return first_meas;
+}
+
+void
+Circuit::appendDetector(std::vector<uint32_t> measurement_indices,
+                        PauliType basis_tag)
+{
+    for (uint32_t m : measurement_indices)
+        SURF_ASSERT(m < num_measurements_, "detector references future "
+                                           "measurement ", m);
+    Instruction ins;
+    ins.op = Op::Detector;
+    ins.targets = std::move(measurement_indices);
+    ins.aux = (basis_tag == PauliType::Z) ? 1u : 0u;
+    instrs_.push_back(std::move(ins));
+    ++num_detectors_;
+}
+
+void
+Circuit::appendObservable(uint32_t observable_index,
+                          std::vector<uint32_t> measurement_indices)
+{
+    for (uint32_t m : measurement_indices)
+        SURF_ASSERT(m < num_measurements_, "observable references future "
+                                           "measurement ", m);
+    Instruction ins;
+    ins.op = Op::ObservableInclude;
+    ins.targets = std::move(measurement_indices);
+    ins.aux = observable_index;
+    instrs_.push_back(std::move(ins));
+    num_observables_ = std::max<size_t>(num_observables_, observable_index + 1);
+}
+
+size_t
+Circuit::countNoiseInstructions() const
+{
+    size_t n = 0;
+    for (const auto &ins : instrs_)
+        if (isNoiseOp(ins.op))
+            ++n;
+    return n;
+}
+
+std::string
+Circuit::str() const
+{
+    static const char *names[] = {"R",  "RX", "M",  "MX", "H", "CX",
+                                  "X_ERROR", "Z_ERROR", "DEPOLARIZE1",
+                                  "DEPOLARIZE2", "DETECTOR", "OBSERVABLE",
+                                  "TICK"};
+    std::ostringstream oss;
+    for (const auto &ins : instrs_) {
+        oss << names[static_cast<int>(ins.op)];
+        if (isNoiseOp(ins.op))
+            oss << "(" << ins.arg << ")";
+        if (ins.op == Op::ObservableInclude)
+            oss << "[" << ins.aux << "]";
+        for (uint32_t t : ins.targets)
+            oss << " " << t;
+        oss << "\n";
+    }
+    return oss.str();
+}
+
+} // namespace surf

@@ -1,0 +1,301 @@
+#include "sim/dem.hh"
+
+#include <algorithm>
+#include <map>
+
+#include "util/logging.hh"
+
+namespace surf {
+
+namespace {
+
+/** Single-frame symbolic propagation state. */
+struct Frame
+{
+    std::vector<uint8_t> x, z;
+    int active = 0;
+
+    explicit Frame(uint32_t n) : x(n, 0), z(n, 0) {}
+
+    void
+    seed(uint32_t q, bool fx, bool fz)
+    {
+        if (fx && !x[q])
+            ++active;
+        if (!fx && x[q])
+            --active;
+        x[q] = fx;
+        if (fz && !z[q])
+            ++active;
+        if (!fz && z[q])
+            --active;
+        z[q] = fz;
+    }
+
+    void
+    clearQubit(uint32_t q)
+    {
+        active -= x[q] + z[q];
+        x[q] = z[q] = 0;
+    }
+};
+
+/** A noise component: which qubits get which single-qubit Pauli. */
+struct Component
+{
+    double p;
+    // (qubit, has_x, has_z) entries
+    std::vector<std::tuple<uint32_t, bool, bool>> paulis;
+};
+
+/** Enumerate the independent components of one noise instruction. */
+void
+enumerateComponents(const Instruction &ins,
+                    std::vector<Component> &out)
+{
+    out.clear();
+    switch (ins.op) {
+      case Op::XError:
+        for (uint32_t q : ins.targets)
+            out.push_back({ins.arg, {{q, true, false}}});
+        break;
+      case Op::ZError:
+        for (uint32_t q : ins.targets)
+            out.push_back({ins.arg, {{q, false, true}}});
+        break;
+      case Op::Depolarize1:
+        for (uint32_t q : ins.targets) {
+            out.push_back({ins.arg / 3, {{q, true, false}}});
+            out.push_back({ins.arg / 3, {{q, true, true}}});
+            out.push_back({ins.arg / 3, {{q, false, true}}});
+        }
+        break;
+      case Op::Depolarize2:
+        for (size_t i = 0; i + 1 < ins.targets.size(); i += 2) {
+            const uint32_t a = ins.targets[i], b = ins.targets[i + 1];
+            for (int which = 1; which < 16; ++which) {
+                const int pa = which / 4, pb = which % 4;
+                Component c{ins.arg / 15, {}};
+                if (pa)
+                    c.paulis.push_back(
+                        {a, pa == 1 || pa == 2, pa == 2 || pa == 3});
+                if (pb)
+                    c.paulis.push_back(
+                        {b, pb == 1 || pb == 2, pb == 2 || pb == 3});
+                out.push_back(std::move(c));
+            }
+        }
+        break;
+      default:
+        break;
+    }
+}
+
+} // namespace
+
+DetectorErrorModel
+buildDem(const Circuit &circuit, PauliType obs_basis)
+{
+    DetectorErrorModel dem;
+    const auto &instrs = circuit.instructions();
+
+    // Map measurement index -> detectors/observables referencing it, and
+    // record detector tags.
+    std::vector<std::vector<uint32_t>> meas_to_dets(
+        circuit.numMeasurements());
+    std::vector<uint8_t> meas_flips_obs(circuit.numMeasurements(), 0);
+    {
+        uint32_t det_id = 0;
+        for (const auto &ins : instrs) {
+            if (ins.op == Op::Detector) {
+                for (uint32_t m : ins.targets)
+                    meas_to_dets[m].push_back(det_id);
+                dem.detectorTag.push_back(static_cast<uint8_t>(ins.aux));
+                ++det_id;
+            } else if (ins.op == Op::ObservableInclude) {
+                for (uint32_t m : ins.targets)
+                    meas_flips_obs[m] ^= 1;
+            }
+        }
+        dem.numDetectors = det_id;
+    }
+
+    // Accumulate components keyed by (flipped detector set, obs flip).
+    std::map<std::pair<std::vector<uint32_t>, bool>, double> merged;
+
+    Frame frame(circuit.numQubits());
+    std::vector<Component> components;
+    std::vector<size_t> meas_before(instrs.size() + 1, 0);
+    for (size_t i = 0; i < instrs.size(); ++i) {
+        meas_before[i + 1] = meas_before[i];
+        if (instrs[i].op == Op::MeasureZ || instrs[i].op == Op::MeasureX)
+            meas_before[i + 1] += instrs[i].targets.size();
+    }
+
+    for (size_t site = 0; site < instrs.size(); ++site) {
+        if (!isNoiseOp(instrs[site].op) || instrs[site].arg <= 0.0)
+            continue;
+        enumerateComponents(instrs[site], components);
+        for (const Component &comp : components) {
+            // Seed the frame and propagate to the end of the circuit.
+            for (const auto &[q, fx, fz] : comp.paulis)
+                frame.seed(q, fx, fz);
+            std::vector<uint32_t> det_flips;
+            bool obs_flip = false;
+            size_t meas_index = meas_before[site + 1];
+            for (size_t i = site + 1;
+                 i < instrs.size() && (frame.active > 0 || true); ++i) {
+                const auto &ins = instrs[i];
+                switch (ins.op) {
+                  case Op::ResetZ:
+                  case Op::ResetX:
+                    for (uint32_t q : ins.targets)
+                        frame.clearQubit(q);
+                    break;
+                  case Op::MeasureZ:
+                    for (uint32_t q : ins.targets) {
+                        if (frame.x[q]) {
+                            for (uint32_t d : meas_to_dets[meas_index])
+                                det_flips.push_back(d);
+                            obs_flip ^= meas_flips_obs[meas_index];
+                        }
+                        if (frame.z[q]) {
+                            frame.active -= 1;
+                            frame.z[q] = 0;
+                        }
+                        ++meas_index;
+                    }
+                    break;
+                  case Op::MeasureX:
+                    for (uint32_t q : ins.targets) {
+                        if (frame.z[q]) {
+                            for (uint32_t d : meas_to_dets[meas_index])
+                                det_flips.push_back(d);
+                            obs_flip ^= meas_flips_obs[meas_index];
+                        }
+                        if (frame.x[q]) {
+                            frame.active -= 1;
+                            frame.x[q] = 0;
+                        }
+                        ++meas_index;
+                    }
+                    break;
+                  case Op::H:
+                    for (uint32_t q : ins.targets)
+                        std::swap(frame.x[q], frame.z[q]);
+                    break;
+                  case Op::CX:
+                    for (size_t k = 0; k + 1 < ins.targets.size(); k += 2) {
+                        const uint32_t c = ins.targets[k];
+                        const uint32_t t = ins.targets[k + 1];
+                        if (frame.x[c]) {
+                            frame.active += frame.x[t] ? -1 : 1;
+                            frame.x[t] ^= 1;
+                        }
+                        if (frame.z[t]) {
+                            frame.active += frame.z[c] ? -1 : 1;
+                            frame.z[c] ^= 1;
+                        }
+                    }
+                    break;
+                  default:
+                    break; // noise/detector/observable/tick: no effect
+                }
+                if (frame.active == 0)
+                    break;
+            }
+            // Reset any leftover frame for the next component.
+            if (frame.active > 0) {
+                std::fill(frame.x.begin(), frame.x.end(), 0);
+                std::fill(frame.z.begin(), frame.z.end(), 0);
+                frame.active = 0;
+            }
+            // XOR-reduce duplicate detector flips.
+            std::sort(det_flips.begin(), det_flips.end());
+            std::vector<uint32_t> reduced;
+            for (size_t k = 0; k < det_flips.size();) {
+                size_t j = k;
+                while (j < det_flips.size() && det_flips[j] == det_flips[k])
+                    ++j;
+                if ((j - k) % 2 == 1)
+                    reduced.push_back(det_flips[k]);
+                k = j;
+            }
+            if (reduced.empty() && !obs_flip)
+                continue;
+            auto key = std::make_pair(std::move(reduced), obs_flip);
+            double &slot = merged[key];
+            slot = slot + comp.p - 2 * slot * comp.p;
+        }
+    }
+
+    // Split each merged component by detector basis and emit graphlike
+    // edges; hyperedges fall back to consecutive pairing.
+    const uint8_t obs_tag = (obs_basis == PauliType::Z) ? 1 : 0;
+    std::map<std::tuple<int, int, int>, std::pair<double, double>>
+        edge_acc[2]; // (a,b,obs) -> accumulated probability per tag
+
+    auto accumulate = [&](uint8_t tag, int a, int b, bool obs, double p) {
+        if (a > b)
+            std::swap(a, b);
+        auto &slot =
+            edge_acc[tag][{a, b, obs ? 1 : 0}];
+        slot.first = slot.first + p - 2 * slot.first * p;
+        (void)slot.second;
+    };
+
+    for (const auto &[key, p] : merged) {
+        const auto &[dets, obs_flip] = key;
+        std::vector<uint32_t> side[2];
+        for (uint32_t d : dets)
+            side[dem.detectorTag[d]].push_back(d);
+        bool obs_assigned = false;
+        for (int tag = 0; tag < 2; ++tag) {
+            auto &ds = side[tag];
+            if (ds.empty())
+                continue;
+            const bool carries_obs = obs_flip && tag == obs_tag;
+            if (ds.size() <= 2) {
+                const int a = static_cast<int>(ds[0]);
+                const int b = ds.size() == 2 ? static_cast<int>(ds[1]) : -1;
+                accumulate(static_cast<uint8_t>(tag), a, b, carries_obs, p);
+            } else {
+                // Hyperedge: pair consecutive detectors (construction
+                // order is round-major, so consecutive ids are close).
+                ++dem.decomposedComponents;
+                for (size_t k = 0; k < ds.size(); k += 2) {
+                    const int a = static_cast<int>(ds[k]);
+                    const int b = (k + 1 < ds.size())
+                                      ? static_cast<int>(ds[k + 1])
+                                      : -1;
+                    const bool last = k + 2 >= ds.size();
+                    accumulate(static_cast<uint8_t>(tag), a, b,
+                               carries_obs && last, p);
+                }
+            }
+            obs_assigned |= carries_obs;
+        }
+        if (obs_flip && !obs_assigned) {
+            if (side[obs_tag].empty() && !side[1 - obs_tag].empty()) {
+                // The observable-relevant side fired no detector: treat as
+                // an undetectable logical on that side.
+                dem.undetectableObsProb =
+                    dem.undetectableObsProb + p -
+                    2 * dem.undetectableObsProb * p;
+            } else {
+                dem.undetectableObsProb =
+                    dem.undetectableObsProb + p -
+                    2 * dem.undetectableObsProb * p;
+            }
+        }
+    }
+
+    for (int tag = 0; tag < 2; ++tag)
+        for (const auto &[key, slot] : edge_acc[tag]) {
+            const auto &[a, b, obs] = key;
+            dem.edges[tag].push_back({a, b, slot.first, obs == 1});
+        }
+    return dem;
+}
+
+} // namespace surf

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Detector error model (DEM) extraction: symbolically propagate every
+ * independent noise component through the circuit, record which detectors
+ * and observables it flips, and assemble per-basis graphlike error models
+ * (the standard independent-XZ decomposition used by PyMatching). Each
+ * edge connects at most two same-basis detectors (or one detector and the
+ * boundary) with a merged probability and an observable-flip flag.
+ */
+
+#ifndef SURF_SIM_DEM_HH
+#define SURF_SIM_DEM_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/circuit.hh"
+
+namespace surf {
+
+/** One graphlike error mechanism. */
+struct DemEdge
+{
+    int a = -1;          ///< detector id (global), or -1 for boundary
+    int b = -1;          ///< detector id, or -1 for boundary
+    double p = 0.0;      ///< total probability of this mechanism
+    bool flipsObs = false;
+};
+
+/** Per-basis graphlike detector error model. */
+struct DetectorErrorModel
+{
+    size_t numDetectors = 0;
+    std::vector<uint8_t> detectorTag;     ///< 0 = X check, 1 = Z check
+    std::vector<DemEdge> edges[2];        ///< indexed by tag
+    /** Probability mass of components that flip the observable without
+     *  flipping any detector (would be undetectable logical errors). */
+    double undetectableObsProb = 0.0;
+    /** Count of hyperedge components split by the pairing heuristic. */
+    size_t decomposedComponents = 0;
+};
+
+/**
+ * Build the DEM for a circuit whose (single) observable is measured in
+ * `obs_basis`: observable flips are attributed to the graph of the
+ * checks that detect the corresponding errors (Z-check detectors for a
+ * Z-basis observable).
+ */
+DetectorErrorModel buildDem(const Circuit &circuit, PauliType obs_basis);
+
+} // namespace surf
+
+#endif // SURF_SIM_DEM_HH

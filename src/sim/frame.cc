@@ -1,0 +1,138 @@
+#include "sim/frame.hh"
+
+#include "util/logging.hh"
+
+namespace surf {
+
+FrameSimulator::FrameSimulator(const Circuit &circuit, size_t shots,
+                               uint64_t seed)
+    : shots_(shots), rng_(seed)
+{
+    xf_.assign(circuit.numQubits(), BitVec(shots));
+    zf_.assign(circuit.numQubits(), BitVec(shots));
+    records_.reserve(circuit.numMeasurements());
+    run(circuit);
+}
+
+void
+FrameSimulator::flipRandom(BitVec &plane, double p)
+{
+    // Geometric skip-sampling: cost proportional to the number of events.
+    uint64_t s = rng_.geometricSkip(p);
+    while (s < shots_) {
+        plane.flip(s);
+        const uint64_t skip = rng_.geometricSkip(p);
+        if (skip >= shots_ - s)
+            break;
+        s += skip + 1;
+    }
+}
+
+void
+FrameSimulator::run(const Circuit &circuit)
+{
+    for (const auto &ins : circuit.instructions()) {
+        switch (ins.op) {
+          case Op::ResetZ:
+          case Op::ResetX:
+            for (uint32_t q : ins.targets) {
+                xf_[q].clear();
+                zf_[q].clear();
+            }
+            break;
+          case Op::MeasureZ:
+            for (uint32_t q : ins.targets) {
+                records_.push_back(xf_[q]);
+                zf_[q].clear(); // post-collapse phase frame is trivial
+            }
+            break;
+          case Op::MeasureX:
+            for (uint32_t q : ins.targets) {
+                records_.push_back(zf_[q]);
+                xf_[q].clear();
+            }
+            break;
+          case Op::H:
+            for (uint32_t q : ins.targets)
+                std::swap(xf_[q], zf_[q]);
+            break;
+          case Op::CX:
+            for (size_t i = 0; i + 1 < ins.targets.size(); i += 2) {
+                const uint32_t c = ins.targets[i], t = ins.targets[i + 1];
+                xf_[t] ^= xf_[c];
+                zf_[c] ^= zf_[t];
+            }
+            break;
+          case Op::XError:
+            for (uint32_t q : ins.targets)
+                flipRandom(xf_[q], ins.arg);
+            break;
+          case Op::ZError:
+            for (uint32_t q : ins.targets)
+                flipRandom(zf_[q], ins.arg);
+            break;
+          case Op::Depolarize1:
+            for (uint32_t q : ins.targets) {
+                uint64_t s = rng_.geometricSkip(ins.arg);
+                while (s < shots_) {
+                    switch (rng_.below(3)) {
+                      case 0: xf_[q].flip(s); break;
+                      case 1: xf_[q].flip(s); zf_[q].flip(s); break;
+                      default: zf_[q].flip(s); break;
+                    }
+                    const uint64_t skip = rng_.geometricSkip(ins.arg);
+                    if (skip >= shots_ - s)
+                        break;
+                    s += skip + 1;
+                }
+            }
+            break;
+          case Op::Depolarize2:
+            for (size_t i = 0; i + 1 < ins.targets.size(); i += 2) {
+                const uint32_t a = ins.targets[i], b = ins.targets[i + 1];
+                uint64_t s = rng_.geometricSkip(ins.arg);
+                while (s < shots_) {
+                    const uint64_t which = 1 + rng_.below(15);
+                    const uint64_t pa = which / 4, pb = which % 4;
+                    if (pa == 1 || pa == 2) xf_[a].flip(s);
+                    if (pa == 2 || pa == 3) zf_[a].flip(s);
+                    if (pb == 1 || pb == 2) xf_[b].flip(s);
+                    if (pb == 2 || pb == 3) zf_[b].flip(s);
+                    const uint64_t skip = rng_.geometricSkip(ins.arg);
+                    if (skip >= shots_ - s)
+                        break;
+                    s += skip + 1;
+                }
+            }
+            break;
+          case Op::Detector: {
+            BitVec bits(shots_);
+            for (uint32_t m : ins.targets)
+                bits ^= records_[m];
+            detectors_.push_back(std::move(bits));
+            break;
+          }
+          case Op::ObservableInclude: {
+            if (observables_.size() <= ins.aux)
+                observables_.resize(ins.aux + 1, BitVec(shots_));
+            for (uint32_t m : ins.targets)
+                observables_[ins.aux] ^= records_[m];
+            break;
+          }
+          case Op::Tick:
+            break;
+        }
+    }
+}
+
+std::vector<uint32_t>
+FrameSimulator::firedDetectors(size_t shot) const
+{
+    std::vector<uint32_t> out;
+    for (size_t d = 0; d < detectors_.size(); ++d)
+        if (detectors_[d].get(shot))
+            out.push_back(static_cast<uint32_t>(d));
+    return out;
+}
+
+} // namespace surf

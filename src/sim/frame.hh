@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Batched Pauli-frame Monte-Carlo sampler. Propagates X/Z error frames
+ * through the circuit for many shots at once (bit-packed, one bit per
+ * shot), producing exact samples of detector values and observable flips
+ * for stabilizer circuits — the same construction as Stim's detector
+ * sampler: detectors are reference-frame differences, so frame propagation
+ * alone determines them.
+ */
+
+#ifndef SURF_SIM_FRAME_HH
+#define SURF_SIM_FRAME_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "pauli/bitvec.hh"
+#include "sim/circuit.hh"
+#include "util/rng.hh"
+
+namespace surf {
+
+/** One batch of frame-simulated shots. */
+class FrameSimulator
+{
+  public:
+    /**
+     * Simulate `shots` samples of the circuit's detectors/observables.
+     * @param seed deterministic RNG seed for the noise processes
+     */
+    FrameSimulator(const Circuit &circuit, size_t shots, uint64_t seed);
+
+    size_t shots() const { return shots_; }
+    size_t numDetectors() const { return detectors_.size(); }
+
+    /** Detector bits across shots (bit s = detector fired in shot s). */
+    const BitVec &detectorBits(size_t det) const { return detectors_[det]; }
+    /** Observable flip bits across shots. */
+    const BitVec &observableBits(size_t obs) const
+    {
+        return observables_[obs];
+    }
+
+    /** Indices of detectors that fired in one shot. */
+    std::vector<uint32_t> firedDetectors(size_t shot) const;
+
+  private:
+    void run(const Circuit &circuit);
+    void flipRandom(BitVec &plane, double p);
+
+    size_t shots_;
+    Rng rng_;
+    std::vector<BitVec> xf_, zf_;          // frames per qubit
+    std::vector<BitVec> records_;          // per measurement
+    std::vector<BitVec> detectors_;        // per detector
+    std::vector<BitVec> observables_;      // per observable
+};
+
+} // namespace surf
+
+#endif // SURF_SIM_FRAME_HH

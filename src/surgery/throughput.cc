@@ -1,0 +1,184 @@
+#include "surgery/throughput.hh"
+
+#include <algorithm>
+#include <deque>
+
+#include "util/logging.hh"
+#include "util/rng.hh"
+
+namespace surf {
+
+namespace {
+
+/**
+ * Routing grid: (2c+1) x (2r+1) cells; tiles at odd-odd cells, channel
+ * (ancilla) cells elsewhere. A CNOT routes along 4-connected channel
+ * cells between the two tiles' adjacent channel cells.
+ */
+struct RoutingGrid
+{
+    int cols, rows;
+    int w, h;
+
+    RoutingGrid(int c, int r) : cols(c), rows(r), w(2 * c + 1), h(2 * r + 1)
+    {
+    }
+
+    int cellId(int x, int y) const { return y * w + x; }
+    bool inside(int x, int y) const { return x >= 0 && x < w && y >= 0 && y < h; }
+    bool isTile(int x, int y) const { return (x % 2 == 1) && (y % 2 == 1); }
+
+    int
+    tileCell(int tile) const
+    {
+        const int tx = tile % cols, ty = tile / cols;
+        return cellId(2 * tx + 1, 2 * ty + 1);
+    }
+};
+
+} // namespace
+
+std::vector<Task>
+makeTaskSet(int tiles, int tasks, int ops, int active, uint64_t seed)
+{
+    Rng rng(seed);
+    SURF_ASSERT(active <= tiles && active >= 2);
+    const auto chosen = rng.sampleWithoutReplacement(
+        static_cast<uint32_t>(tiles), static_cast<uint32_t>(active));
+    std::vector<Task> out(static_cast<size_t>(tasks));
+    for (auto &task : out) {
+        for (int k = 0; k < ops; ++k) {
+            const int a = static_cast<int>(
+                chosen[rng.below(static_cast<uint64_t>(active))]);
+            int b = a;
+            while (b == a)
+                b = static_cast<int>(
+                    chosen[rng.below(static_cast<uint64_t>(active))]);
+            task.push_back({a, b});
+        }
+    }
+    return out;
+}
+
+ThroughputResult
+simulateThroughput(const std::vector<Task> &tasks,
+                   const ThroughputConfig &cfg)
+{
+    ThroughputResult out;
+    RoutingGrid grid(cfg.gridCols, cfg.gridRows);
+    Rng rng(cfg.seed);
+
+    const int n_tiles = cfg.gridCols * cfg.gridRows;
+    const double tile_event_rate =
+        cfg.defectRatePerQubitStep * 2.0 * cfg.d * cfg.d;
+    // Enlargement headroom: events a tile can absorb without spilling
+    // into the channel (0 for Q3DE's doubling, Delta_d/D for ours).
+    int capacity = 0;
+    switch (cfg.strategy) {
+      case Strategy::SurfDeformer:
+        capacity = cfg.deltaD / cfg.regionDiameter;
+        break;
+      case Strategy::Q3deRevised:
+        capacity = 1 << 20; // 2d inter-space: doubling never blocks
+        break;
+      default:
+        capacity = 0; // Q3DE / LS-style layouts spill immediately
+        break;
+    }
+
+    std::vector<size_t> next_op(tasks.size(), 0);
+    for (const auto &t : tasks)
+        out.totalOps += static_cast<int>(t.size());
+
+    // Active defect events per tile: expiry steps.
+    std::vector<std::deque<int>> tile_events(static_cast<size_t>(n_tiles));
+
+    int done = 0;
+    int step = 0;
+    while (done < out.totalOps && step < cfg.maxSteps) {
+        ++step;
+        // Defect arrivals and expiries.
+        for (int t = 0; t < n_tiles; ++t) {
+            auto &evs = tile_events[static_cast<size_t>(t)];
+            while (!evs.empty() && evs.front() <= step)
+                evs.pop_front();
+            if (tile_event_rate > 0.0 && rng.bernoulli(tile_event_rate))
+                evs.push_back(step + static_cast<int>(
+                                         cfg.defectDurationSteps));
+        }
+        // Blocked channel cells: tiles over capacity spill into all
+        // adjacent channel cells (the enlarged patch occupies them).
+        std::vector<uint8_t> blocked(
+            static_cast<size_t>(grid.w * grid.h), 0);
+        for (int t = 0; t < n_tiles; ++t) {
+            if (static_cast<int>(tile_events[static_cast<size_t>(t)].size()) <=
+                capacity)
+                continue;
+            const int cx = 2 * (t % cfg.gridCols) + 1;
+            const int cy = 2 * (t / cfg.gridCols) + 1;
+            for (int dx = -1; dx <= 1; ++dx)
+                for (int dy = -1; dy <= 1; ++dy) {
+                    const int x = cx + dx, y = cy + dy;
+                    if (grid.inside(x, y) && !grid.isTile(x, y))
+                        blocked[static_cast<size_t>(grid.cellId(x, y))] = 1;
+                }
+        }
+        // Route the head operation of each task greedily with
+        // vertex-disjoint paths over free channel cells.
+        std::vector<uint8_t> used(blocked);
+        for (size_t ti = 0; ti < tasks.size(); ++ti) {
+            if (next_op[ti] >= tasks[ti].size())
+                continue;
+            const LogicalOp &op = tasks[ti][next_op[ti]];
+            const int src = grid.tileCell(op.tileA);
+            const int dst = grid.tileCell(op.tileB);
+            // BFS from src tile over channel cells to dst tile.
+            std::vector<int> parent(static_cast<size_t>(grid.w * grid.h),
+                                    -2);
+            std::deque<int> queue;
+            parent[static_cast<size_t>(src)] = -1;
+            queue.push_back(src);
+            bool found = false;
+            while (!queue.empty() && !found) {
+                const int v = queue.front();
+                queue.pop_front();
+                const int vx = v % grid.w, vy = v / grid.w;
+                static const int DX[4] = {1, -1, 0, 0};
+                static const int DY[4] = {0, 0, 1, -1};
+                for (int k = 0; k < 4; ++k) {
+                    const int x = vx + DX[k], y = vy + DY[k];
+                    if (!grid.inside(x, y))
+                        continue;
+                    const int c = grid.cellId(x, y);
+                    if (parent[static_cast<size_t>(c)] != -2)
+                        continue;
+                    if (c == dst) {
+                        parent[static_cast<size_t>(c)] = v;
+                        found = true;
+                        break;
+                    }
+                    if (grid.isTile(x, y) ||
+                        used[static_cast<size_t>(c)])
+                        continue;
+                    parent[static_cast<size_t>(c)] = v;
+                    queue.push_back(c);
+                }
+            }
+            if (!found)
+                continue; // op waits for a free path
+            // Mark the path cells used for this step.
+            for (int v = parent[static_cast<size_t>(dst)]; v != src && v >= 0;
+                 v = parent[static_cast<size_t>(v)])
+                used[static_cast<size_t>(v)] = 1;
+            ++next_op[ti];
+            ++done;
+        }
+    }
+    out.steps = step;
+    out.stalled = done < out.totalOps;
+    out.throughput =
+        (step > 0) ? static_cast<double>(done) / step : 0.0;
+    return out;
+}
+
+} // namespace surf

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Lattice-surgery communication simulator (paper fig. 11c): logical tiles
+ * on a grid, long-range CNOTs routed through ancilla channel cells as
+ * vertex-disjoint paths, and defect-triggered enlargements blocking
+ * channel cells according to the layout strategy. Throughput is the
+ * average number of completed operations per lattice-surgery timestep.
+ */
+
+#ifndef SURF_SURGERY_THROUGHPUT_HH
+#define SURF_SURGERY_THROUGHPUT_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "baselines/strategies.hh"
+
+namespace surf {
+
+/** One logical CNOT between two tiles. */
+struct LogicalOp
+{
+    int tileA = 0;
+    int tileB = 0;
+};
+
+/** A task is an ordered list of operations (sequential dependencies). */
+using Task = std::vector<LogicalOp>;
+
+/** Throughput-simulation configuration. */
+struct ThroughputConfig
+{
+    int gridCols = 10;
+    int gridRows = 10;            ///< 100 logical qubits (paper setup)
+    int d = 9;                    ///< code distance (tile size)
+    int deltaD = 4;               ///< Surf-Deformer inter-space headroom
+    int regionDiameter = 4;       ///< defect size D
+    Strategy strategy = Strategy::SurfDeformer;
+    double defectRatePerQubitStep = 0.0; ///< fig. 11c x-axis
+    uint64_t defectDurationSteps = 12;   ///< event persistence in steps
+    int maxSteps = 100000;
+    uint64_t seed = 1;
+};
+
+/** Simulation outcome. */
+struct ThroughputResult
+{
+    int totalOps = 0;
+    int steps = 0;
+    double throughput = 0.0; ///< ops per step
+    bool stalled = false;    ///< hit maxSteps before completing
+};
+
+/** Build the paper's task sets: `tasks` tasks of `ops` CNOTs each over
+ *  `active` distinct tiles, with the given parallelism-controlling seed. */
+std::vector<Task> makeTaskSet(int tiles, int tasks, int ops, int active,
+                              uint64_t seed);
+
+/** Run the routing simulation for one task set. */
+ThroughputResult simulateThroughput(const std::vector<Task> &tasks,
+                                    const ThroughputConfig &cfg);
+
+} // namespace surf
+
+#endif // SURF_SURGERY_THROUGHPUT_HH

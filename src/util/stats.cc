@@ -1,0 +1,91 @@
+#include "util/stats.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace surf {
+
+BinomialEstimate
+estimateBinomial(uint64_t successes, uint64_t trials)
+{
+    SURF_ASSERT(trials > 0);
+    const double p = static_cast<double>(successes) / trials;
+    const double se = std::sqrt(std::max(p * (1.0 - p), 0.0) / trials);
+    return {p, se};
+}
+
+double
+perRoundRate(double p_shot, uint64_t rounds)
+{
+    SURF_ASSERT(rounds > 0);
+    if (p_shot >= 1.0)
+        return 1.0;
+    if (p_shot <= 0.0)
+        return 0.0;
+    return 1.0 - std::pow(1.0 - p_shot, 1.0 / static_cast<double>(rounds));
+}
+
+std::pair<double, double>
+linearFit(const std::vector<double> &xs, const std::vector<double> &ys)
+{
+    SURF_ASSERT(xs.size() == ys.size() && xs.size() >= 2);
+    const double n = static_cast<double>(xs.size());
+    double sx = 0, sy = 0, sxx = 0, sxy = 0;
+    for (size_t i = 0; i < xs.size(); ++i) {
+        sx += xs[i];
+        sy += ys[i];
+        sxx += xs[i] * xs[i];
+        sxy += xs[i] * ys[i];
+    }
+    const double denom = n * sxx - sx * sx;
+    SURF_ASSERT(std::abs(denom) > 1e-12, "degenerate x values in linearFit");
+    const double b = (n * sxy - sx * sy) / denom;
+    const double a = (sy - b * sx) / n;
+    return {a, b};
+}
+
+double
+poissonPmf(double lambda, unsigned k)
+{
+    SURF_ASSERT(lambda >= 0.0);
+    // Work in log space for robustness at large k / lambda.
+    double log_p = -lambda + k * std::log(lambda > 0 ? lambda : 1e-300);
+    for (unsigned i = 2; i <= k; ++i)
+        log_p -= std::log(static_cast<double>(i));
+    return std::exp(log_p);
+}
+
+double
+poissonTail(double lambda, unsigned k)
+{
+    double cdf = 0.0;
+    for (unsigned i = 0; i <= k; ++i)
+        cdf += poissonPmf(lambda, i);
+    return std::max(0.0, 1.0 - cdf);
+}
+
+double
+mean(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double s = 0.0;
+    for (double x : xs)
+        s += x;
+    return s / static_cast<double>(xs.size());
+}
+
+double
+sampleStdDev(const std::vector<double> &xs)
+{
+    if (xs.size() < 2)
+        return 0.0;
+    const double m = mean(xs);
+    double s = 0.0;
+    for (double x : xs)
+        s += (x - m) * (x - m);
+    return std::sqrt(s / static_cast<double>(xs.size() - 1));
+}
+
+} // namespace surf

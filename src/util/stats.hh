@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Small statistics helpers shared by experiment harnesses: binomial
+ * estimates with standard errors, log-linear fits (used to calibrate the
+ * logical-error-rate suppression factor), and Poisson tail probabilities
+ * (used by the layout generator's block-probability model).
+ */
+
+#ifndef SURF_UTIL_STATS_HH
+#define SURF_UTIL_STATS_HH
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace surf {
+
+/** Point estimate and standard error for k successes out of n trials. */
+struct BinomialEstimate
+{
+    double p;      ///< k / n
+    double stderr; ///< sqrt(p (1-p) / n)
+};
+
+/** Estimate a Bernoulli success probability from counts. */
+BinomialEstimate estimateBinomial(uint64_t successes, uint64_t trials);
+
+/**
+ * Convert a per-shot logical failure probability over `rounds` rounds into
+ * a per-round rate: p_round = 1 - (1 - p_shot)^(1/rounds) (with the
+ * standard small-p simplification guarded against p_shot >= 1).
+ */
+double perRoundRate(double p_shot, uint64_t rounds);
+
+/** Least-squares fit y = a + b x. Returns {a, b}. */
+std::pair<double, double> linearFit(const std::vector<double> &xs,
+                                    const std::vector<double> &ys);
+
+/** Poisson pmf P[K = k] for mean lambda. */
+double poissonPmf(double lambda, unsigned k);
+
+/** Poisson upper tail P[K > k] for mean lambda. */
+double poissonTail(double lambda, unsigned k);
+
+/** Mean of a vector (0 for empty input). */
+double mean(const std::vector<double> &xs);
+
+/** Sample standard deviation (0 for fewer than two samples). */
+double sampleStdDev(const std::vector<double> &xs);
+
+} // namespace surf
+
+#endif // SURF_UTIL_STATS_HH

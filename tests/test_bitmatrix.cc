@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Unit tests for GF(2) matrix operations: rank, span membership with
+ * certificates, and kernel bases.
+ */
+
+#include <gtest/gtest.h>
+
+#include "pauli/bitmatrix.hh"
+#include "util/rng.hh"
+
+namespace surf {
+namespace {
+
+BitVec
+fromBits(std::initializer_list<int> bits)
+{
+    BitVec v(bits.size());
+    size_t i = 0;
+    for (int b : bits)
+        v.set(i++, b != 0);
+    return v;
+}
+
+TEST(BitMatrix, RankOfIndependentRows)
+{
+    BitMatrix m(4);
+    m.addRow(fromBits({1, 0, 0, 0}));
+    m.addRow(fromBits({1, 1, 0, 0}));
+    m.addRow(fromBits({0, 0, 1, 1}));
+    EXPECT_EQ(m.rank(), 3u);
+    EXPECT_TRUE(m.rowsIndependent());
+}
+
+TEST(BitMatrix, RankDetectsDependence)
+{
+    BitMatrix m(4);
+    m.addRow(fromBits({1, 1, 0, 0}));
+    m.addRow(fromBits({0, 1, 1, 0}));
+    m.addRow(fromBits({1, 0, 1, 0}));
+    EXPECT_EQ(m.rank(), 2u);
+    EXPECT_FALSE(m.rowsIndependent());
+}
+
+TEST(BitMatrix, SolveCombinationFindsCertificate)
+{
+    BitMatrix m(5);
+    m.addRow(fromBits({1, 1, 0, 0, 0}));
+    m.addRow(fromBits({0, 1, 1, 0, 0}));
+    m.addRow(fromBits({0, 0, 0, 1, 1}));
+    const BitVec target = fromBits({1, 0, 1, 1, 1});
+    auto combo = m.solveCombination(target);
+    ASSERT_TRUE(combo.has_value());
+    // Verify the certificate reproduces the target.
+    BitVec sum(5);
+    for (size_t r = 0; r < m.rows(); ++r)
+        if (combo->get(r))
+            sum ^= m.row(r);
+    EXPECT_EQ(sum, target);
+}
+
+TEST(BitMatrix, SolveCombinationRejectsOutside)
+{
+    BitMatrix m(3);
+    m.addRow(fromBits({1, 1, 0}));
+    EXPECT_FALSE(m.inSpan(fromBits({0, 0, 1})));
+    EXPECT_TRUE(m.inSpan(fromBits({1, 1, 0})));
+    EXPECT_TRUE(m.inSpan(fromBits({0, 0, 0})));
+}
+
+TEST(BitMatrix, KernelVectorsAnnihilate)
+{
+    Rng rng(99);
+    for (int trial = 0; trial < 20; ++trial) {
+        const size_t cols = 12;
+        BitMatrix m(cols);
+        for (int r = 0; r < 7; ++r) {
+            BitVec row(cols);
+            for (size_t c = 0; c < cols; ++c)
+                row.set(c, rng.bernoulli(0.4));
+            m.addRow(row);
+        }
+        const auto kernel = m.kernelBasis();
+        EXPECT_EQ(kernel.size(), cols - m.rank());
+        for (const auto &k : kernel) {
+            for (size_t r = 0; r < m.rows(); ++r)
+                EXPECT_FALSE(m.row(r).andParity(k))
+                    << "kernel vector fails row " << r;
+        }
+    }
+}
+
+TEST(BitMatrix, RandomizedSpanConsistency)
+{
+    Rng rng(1234);
+    for (int trial = 0; trial < 30; ++trial) {
+        const size_t cols = 16;
+        BitMatrix m(cols);
+        std::vector<BitVec> rows;
+        for (int r = 0; r < 6; ++r) {
+            BitVec row(cols);
+            for (size_t c = 0; c < cols; ++c)
+                row.set(c, rng.bernoulli(0.5));
+            rows.push_back(row);
+            m.addRow(row);
+        }
+        // Random combination must be in span.
+        BitVec combo(cols);
+        for (const auto &r : rows)
+            if (rng.bernoulli(0.5))
+                combo ^= r;
+        EXPECT_TRUE(m.inSpan(combo));
+    }
+}
+
+} // namespace
+} // namespace surf

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Unit tests for the GF(2) bit vector.
+ */
+
+#include <gtest/gtest.h>
+
+#include "pauli/bitvec.hh"
+#include "util/rng.hh"
+
+namespace surf {
+namespace {
+
+TEST(BitVec, StartsZeroed)
+{
+    BitVec v(130);
+    EXPECT_EQ(v.size(), 130u);
+    EXPECT_TRUE(v.isZero());
+    EXPECT_EQ(v.popcount(), 0u);
+    EXPECT_EQ(v.lowestSetBit(), 130u);
+}
+
+TEST(BitVec, SetGetFlip)
+{
+    BitVec v(100);
+    v.set(0, true);
+    v.set(63, true);
+    v.set(64, true);
+    v.set(99, true);
+    EXPECT_TRUE(v.get(0));
+    EXPECT_TRUE(v.get(63));
+    EXPECT_TRUE(v.get(64));
+    EXPECT_TRUE(v.get(99));
+    EXPECT_FALSE(v.get(1));
+    EXPECT_EQ(v.popcount(), 4u);
+    v.flip(63);
+    EXPECT_FALSE(v.get(63));
+    EXPECT_EQ(v.popcount(), 3u);
+    v.set(0, false);
+    EXPECT_FALSE(v.get(0));
+    EXPECT_EQ(v.lowestSetBit(), 64u);
+}
+
+TEST(BitVec, XorIsSelfInverse)
+{
+    Rng rng(7);
+    BitVec a(200), b(200);
+    for (size_t i = 0; i < 200; ++i) {
+        a.set(i, rng.bernoulli(0.5));
+        b.set(i, rng.bernoulli(0.5));
+    }
+    BitVec c = a;
+    c ^= b;
+    c ^= b;
+    EXPECT_EQ(c, a);
+}
+
+TEST(BitVec, AndParityMatchesNaive)
+{
+    Rng rng(13);
+    for (int trial = 0; trial < 50; ++trial) {
+        BitVec a(150), b(150);
+        bool naive = false;
+        for (size_t i = 0; i < 150; ++i) {
+            const bool ai = rng.bernoulli(0.3);
+            const bool bi = rng.bernoulli(0.3);
+            a.set(i, ai);
+            b.set(i, bi);
+            naive ^= (ai && bi);
+        }
+        EXPECT_EQ(a.andParity(b), naive);
+    }
+}
+
+TEST(BitVec, OnesPositions)
+{
+    BitVec v(70);
+    v.set(3, true);
+    v.set(65, true);
+    auto ones = v.onesPositions();
+    ASSERT_EQ(ones.size(), 2u);
+    EXPECT_EQ(ones[0], 3u);
+    EXPECT_EQ(ones[1], 65u);
+}
+
+TEST(BitVec, ClearResets)
+{
+    BitVec v(64);
+    v.set(10, true);
+    v.clear();
+    EXPECT_TRUE(v.isZero());
+    EXPECT_EQ(v.size(), 64u);
+}
+
+TEST(BitVec, StrRendering)
+{
+    BitVec v(5);
+    v.set(1, true);
+    v.set(4, true);
+    EXPECT_EQ(v.str(), "01001");
+}
+
+} // namespace
+} // namespace surf

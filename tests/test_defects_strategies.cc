@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Tests for the defect models and the baseline strategy layer: region
+ * geometry matches the paper's burst model, event sampling follows the
+ * configured rates, detector imprecision behaves statistically, and the
+ * strategies exhibit their characteristic behaviors (fig. 1).
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "baselines/strategies.hh"
+#include "defects/defect_sampler.hh"
+#include "defects/detector_model.hh"
+#include "lattice/rotated.hh"
+
+namespace surf {
+namespace {
+
+TEST(DefectSampler, RegionMatchesPaperScale)
+{
+    // Diameter 4 around an interior point: ~25 sites (paper: 24 affected
+    // qubits + the struck one).
+    const auto sites = DefectSampler::regionSites({10, 10}, 4);
+    EXPECT_GE(sites.size(), 20u);
+    EXPECT_LE(sites.size(), 27u);
+    for (const Coord &c : sites) {
+        EXPECT_LE(std::abs(c.x - 10), 3);
+        EXPECT_LE(std::abs(c.y - 10), 3);
+        EXPECT_TRUE(c.isDataSite() || c.isCheckSite());
+    }
+}
+
+TEST(DefectSampler, EventRateMatchesModel)
+{
+    DefectModelParams params;
+    params.eventRatePerQubitSec *= 1e4; // speed the test up
+    DefectSampler sampler(params, 5);
+    const CodePatch p = squarePatch(9);
+    const uint64_t cycles = 2000000;
+    const auto events = sampler.sampleEvents(p, cycles);
+    const double expected = params.eventRatePerQubitCycle() *
+                            static_cast<double>(p.numPhysicalQubits()) *
+                            static_cast<double>(cycles);
+    EXPECT_GT(expected, 5.0);
+    EXPECT_NEAR(static_cast<double>(events.size()), expected,
+                4 * std::sqrt(expected) + 2);
+    for (const auto &ev : events)
+        EXPECT_EQ(ev.endCycle - ev.startCycle, params.durationCycles());
+}
+
+TEST(DefectSampler, ActiveSitesWindowing)
+{
+    DefectModelParams params;
+    DefectSampler sampler(params, 1);
+    std::vector<DefectEvent> events;
+    DefectEvent ev;
+    ev.startCycle = 100;
+    ev.endCycle = 200;
+    ev.sites = DefectSampler::regionSites({5, 5}, 2);
+    events.push_back(ev);
+    EXPECT_TRUE(DefectSampler::activeSites(events, 50).empty());
+    EXPECT_EQ(DefectSampler::activeSites(events, 150).size(),
+              ev.sites.size());
+    EXPECT_TRUE(DefectSampler::activeSites(events, 200).empty());
+}
+
+TEST(DefectSampler, StaticFaultsAreDistinctQubits)
+{
+    DefectSampler sampler(DefectModelParams{}, 3);
+    const CodePatch p = squarePatch(7);
+    const auto faults = sampler.sampleStaticFaults(p, 12);
+    EXPECT_EQ(faults.size(), 12u);
+}
+
+TEST(DetectorModel, PreciseDetectionIsIdentity)
+{
+    DetectorModel m; // defaults: no errors
+    Rng rng(2);
+    const CodePatch p = squarePatch(5);
+    const std::set<Coord> truth{{3, 3}, {4, 4}};
+    EXPECT_EQ(m.observe(truth, p, rng), truth);
+}
+
+TEST(DetectorModel, FalseNegativesDropSites)
+{
+    DetectorModel m;
+    m.falseNegative = 1.0;
+    Rng rng(2);
+    const CodePatch p = squarePatch(5);
+    EXPECT_TRUE(m.observe({{3, 3}}, p, rng).empty());
+}
+
+TEST(DetectorModel, FalsePositivesAddSites)
+{
+    DetectorModel m;
+    m.falsePositive = 0.5;
+    Rng rng(2);
+    const CodePatch p = squarePatch(5);
+    const auto obs = m.observe({}, p, rng);
+    EXPECT_GT(obs.size(), 10u); // half of ~49+24 sites flagged
+}
+
+TEST(Strategies, NamesAndSchemes)
+{
+    EXPECT_STREQ(strategyName(Strategy::SurfDeformer), "Surf-Deformer");
+    EXPECT_EQ(schemeOf(Strategy::Q3deRevised), InterspaceScheme::Q3deRevised);
+    EXPECT_EQ(schemeOf(Strategy::SurfDeformer),
+              InterspaceScheme::SurfDeformer);
+}
+
+TEST(Strategies, CharacteristicBehaviors)
+{
+    const auto sites = DefectSampler::regionSites({8, 8}, 3);
+    const int d = 9;
+
+    const auto ls = applyStrategy(Strategy::LatticeSurgery, d, 4, sites);
+    EXPECT_EQ(ls.residualDefects.size(), sites.size());
+    EXPECT_EQ(ls.grownLayers, 0);
+
+    const auto ascs = applyStrategy(Strategy::Ascs, d, 4, sites);
+    EXPECT_TRUE(ascs.residualDefects.empty());
+    EXPECT_LT(ascs.minDist(), static_cast<size_t>(d)); // lost distance
+    EXPECT_EQ(ascs.grownLayers, 0);
+
+    const auto q3 = applyStrategy(Strategy::Q3de, d, 4, sites);
+    EXPECT_FALSE(q3.residualDefects.empty());
+    EXPECT_EQ(q3.grownLayers, 2 * d); // fixed doubling
+    EXPECT_EQ(q3.minDist(), static_cast<size_t>(2 * d));
+
+    const auto sd = applyStrategy(Strategy::SurfDeformer, d, 4, sites);
+    EXPECT_TRUE(sd.residualDefects.empty());
+    EXPECT_GE(sd.minDist(), static_cast<size_t>(d)); // restored
+    EXPECT_GT(sd.grownLayers, 0);
+    EXPECT_LT(sd.patch.numData(), q3.patch.numData()); // adaptive < fixed
+}
+
+TEST(Strategies, SurfDeformerBeatsAscsOnDistance)
+{
+    // Across several random bursts, SD's restored distance never falls
+    // below ASC-S's remaining distance.
+    for (int s = 0; s < 6; ++s) {
+        DefectSampler sampler(DefectModelParams{}, 100 + s);
+        const CodePatch ref = squarePatch(9);
+        const auto faults = sampler.sampleStaticFaults(ref, 6);
+        const auto a = applyStrategy(Strategy::Ascs, 9, 4, faults);
+        const auto d = applyStrategy(Strategy::SurfDeformer, 9, 4, faults);
+        EXPECT_GE(d.minDist(), a.minDist()) << "seed " << s;
+    }
+}
+
+} // namespace
+} // namespace surf

@@ -1,0 +1,192 @@
+/**
+ * @file
+ * Tests for the Code Deformation Unit (paper Sec. V): Alg. 1 defect
+ * removal with balancing, Alg. 2 adaptive enlargement with the Delta_d
+ * cap, shrink-back when defects subside, and randomized property tests
+ * that every produced code is structurally and algebraically valid.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/deformation_unit.hh"
+#include "lattice/convert.hh"
+#include "lattice/distance.hh"
+#include "util/rng.hh"
+
+namespace surf {
+namespace {
+
+DeformConfig
+sdConfig(int d, int delta_d)
+{
+    DeformConfig cfg;
+    cfg.d = d;
+    cfg.deltaD = delta_d;
+    return cfg;
+}
+
+TEST(DeformationUnit, NoDefectsIsIdentity)
+{
+    DeformationUnit unit(sdConfig(5, 4));
+    const auto out = unit.apply({});
+    EXPECT_TRUE(out.restored);
+    EXPECT_EQ(out.result.distX, 5u);
+    EXPECT_EQ(out.result.distZ, 5u);
+    EXPECT_EQ(out.totalGrown(), 0);
+    EXPECT_EQ(out.result.patch.numData(), 25u);
+}
+
+TEST(DeformationUnit, InteriorDefectTriggersEnlargement)
+{
+    DeformationUnit unit(sdConfig(5, 4));
+    const auto out = unit.apply({Coord{5, 5}});
+    EXPECT_TRUE(out.restored);
+    EXPECT_GE(out.result.distX, 5u);
+    EXPECT_GE(out.result.distZ, 5u);
+    const auto v = out.result.patch.validate();
+    EXPECT_TRUE(v.ok) << v.reason;
+}
+
+TEST(DeformationUnit, EnlargementIsAdaptiveNotFixed)
+{
+    // A single interior defect costs at most one unit of distance per
+    // type, so at most one layer per axis is added (vs Q3DE's d layers).
+    DeformationUnit unit(sdConfig(7, 4));
+    const auto out = unit.apply({Coord{7, 7}});
+    EXPECT_TRUE(out.restored);
+    EXPECT_LE(out.totalGrown(), 2);
+}
+
+TEST(DeformationUnit, DeltaDCapLimitsGrowth)
+{
+    DeformationUnit unit(sdConfig(5, 1));
+    // A row of defects across the middle costs several units of
+    // Z-distance; the cap allows at most 1 layer per side.
+    std::set<Coord> defects;
+    for (int x = 1; x <= 9; x += 2)
+        defects.insert(Coord{x, 5});
+    const auto out = unit.apply(defects);
+    for (int s = 0; s < 4; ++s)
+        EXPECT_LE(out.grown[static_cast<size_t>(s)], 1);
+    // With such a heavy defect line the cap is insufficient.
+    EXPECT_FALSE(out.restored);
+}
+
+TEST(DeformationUnit, ShrinksBackWhenDefectsSubside)
+{
+    DeformationUnit unit(sdConfig(5, 4));
+    const auto hit = unit.apply({Coord{5, 5}});
+    EXPECT_GE(hit.totalGrown(), 1);
+    const auto calm = unit.apply({});
+    EXPECT_EQ(calm.totalGrown(), 0);
+    EXPECT_EQ(calm.result.patch.numData(), 25u);
+}
+
+TEST(DeformationUnit, SyndromeDefect)
+{
+    DeformationUnit unit(sdConfig(5, 4));
+    const auto out = unit.apply({Coord{4, 4}});
+    EXPECT_TRUE(out.restored);
+    const auto v = out.result.patch.validate();
+    EXPECT_TRUE(v.ok) << v.reason;
+    // SyndromeQ_RM keeps all data qubits of the original footprint alive.
+    EXPECT_GE(out.result.patch.numData(), 25u);
+}
+
+TEST(DeformationUnit, BalancedBeatsMinimalDisableOnCorner)
+{
+    // Corner defect (paper fig. 8): balancing keeps a larger min distance
+    // than ASC-S's minimal-disable choice.
+    DeformConfig sd = sdConfig(5, 0);
+    sd.enlargement = false;
+    DeformConfig ascs = sd;
+    ascs.policy = RemovalPolicy::MinimalDisable;
+
+    const std::set<Coord> defect{Coord{9, 1}};
+    const auto out_sd = DeformationUnit(sd).apply(defect);
+    const auto out_ascs = DeformationUnit(ascs).apply(defect);
+    const size_t min_sd = std::min(out_sd.result.distX, out_sd.result.distZ);
+    const size_t min_ascs =
+        std::min(out_ascs.result.distX, out_ascs.result.distZ);
+    EXPECT_GE(min_sd, min_ascs);
+    EXPECT_EQ(min_sd, 4u);
+}
+
+TEST(DeformationUnit, TraceRecordsInstructions)
+{
+    DeformationUnit unit(sdConfig(5, 4));
+    const auto out = unit.apply({Coord{5, 5}});
+    EXPECT_GE(out.trace.size(), 2u); // DataQ_RM + PatchQ_ADD layers
+    bool has_rm = false, has_add = false;
+    for (const auto &r : out.trace.records()) {
+        if (r.name.rfind("DataQ_RM", 0) == 0)
+            has_rm = true;
+        if (r.name.rfind("PatchQ_ADD", 0) == 0)
+            has_add = true;
+    }
+    EXPECT_TRUE(has_rm);
+    EXPECT_TRUE(has_add);
+}
+
+TEST(DeformationUnit, DefectOnProspectiveScaleLayer)
+{
+    // Paper fig. 9c/d: a defect sitting in the layer that the enlargement
+    // wants to add; the unit must still restore the distance (growing an
+    // extra layer or removing the defect in the new layer).
+    DeformationUnit unit(sdConfig(5, 4));
+    std::set<Coord> defects{Coord{5, 5}};   // interior defect
+    defects.insert(Coord{11, 5});           // just east of the patch
+    const auto out = unit.apply(defects);
+    EXPECT_TRUE(out.restored);
+    const auto v = out.result.patch.validate();
+    EXPECT_TRUE(v.ok) << v.reason;
+}
+
+/** Property test: random defect patterns always yield valid codes. */
+class RandomDefectPattern : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(RandomDefectPattern, AlwaysValidAndOracleAgrees)
+{
+    Rng rng(static_cast<uint64_t>(GetParam()) * 7919 + 11);
+    const int d = 5;
+    DeformationUnit unit(sdConfig(d, 3));
+    for (int trial = 0; trial < 6; ++trial) {
+        // Sample 1-4 defective sites anywhere in/near the patch.
+        std::set<Coord> defects;
+        const int k = 1 + static_cast<int>(rng.below(4));
+        for (int i = 0; i < k; ++i) {
+            const int x = static_cast<int>(rng.below(2 * d + 3)) - 1;
+            const int y = static_cast<int>(rng.below(2 * d + 3)) - 1;
+            const Coord c{x, y};
+            if (c.isDataSite() || c.isCheckSite())
+                defects.insert(c);
+        }
+        const auto out = unit.apply(defects);
+        if (!out.result.alive)
+            continue; // destroyed codes are legal outcomes for heavy hits
+        const auto v = out.result.patch.validate();
+        ASSERT_TRUE(v.ok) << v.reason << "\n" << out.result.patch.render();
+        // Graph distance must agree with the exact oracle (skip when the
+        // enlarged patch makes the 2^rank enumeration too expensive).
+        if (out.result.patch.numData() <= 44) {
+            ASSERT_EQ(exactDistance(out.result.patch, PauliType::X),
+                      out.result.distX)
+                << out.result.patch.render();
+            ASSERT_EQ(exactDistance(out.result.patch, PauliType::Z),
+                      out.result.distZ)
+                << out.result.patch.render();
+        }
+        // The algebraic layer must accept the code (Theorem 1).
+        const PatchAlgebra alg = toAlgebra(out.result.patch);
+        const auto ar = alg.code.validate();
+        ASSERT_TRUE(ar.ok) << ar.reason;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomDefectPattern,
+                         ::testing::Range(0, 12));
+
+} // namespace
+} // namespace surf

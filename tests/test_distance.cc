@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Distance tests: the graph shortest-path distance must equal both the
+ * designed distance of pristine patches and the exact GF(2) coset oracle.
+ */
+
+#include <gtest/gtest.h>
+
+#include "lattice/convert.hh"
+#include "lattice/distance.hh"
+#include "lattice/rotated.hh"
+
+namespace surf {
+namespace {
+
+class DistanceParam : public ::testing::TestWithParam<std::pair<int, int>>
+{
+};
+
+TEST_P(DistanceParam, GraphMatchesDesign)
+{
+    const auto [dx, dz] = GetParam();
+    const CodePatch p = rectangularPatch(dx, dz);
+    EXPECT_EQ(graphDistance(p, PauliType::X).distance,
+              static_cast<size_t>(dx));
+    EXPECT_EQ(graphDistance(p, PauliType::Z).distance,
+              static_cast<size_t>(dz));
+    EXPECT_EQ(codeDistance(p), static_cast<size_t>(std::min(dx, dz)));
+}
+
+TEST_P(DistanceParam, GraphMatchesExactOracle)
+{
+    const auto [dx, dz] = GetParam();
+    if (dx * dz > 30)
+        GTEST_SKIP() << "oracle too large";
+    const CodePatch p = rectangularPatch(dx, dz);
+    EXPECT_EQ(graphDistance(p, PauliType::X).distance,
+              exactDistance(p, PauliType::X));
+    EXPECT_EQ(graphDistance(p, PauliType::Z).distance,
+              exactDistance(p, PauliType::Z));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, DistanceParam,
+                         ::testing::Values(std::pair{2, 2}, std::pair{3, 3},
+                                           std::pair{5, 5}, std::pair{3, 5},
+                                           std::pair{5, 3}, std::pair{4, 4},
+                                           std::pair{9, 9}, std::pair{13, 13},
+                                           std::pair{21, 21}));
+
+TEST(Distance, PathIsValidLogicalOperator)
+{
+    const CodePatch p = rectangularPatch(5, 5);
+    const auto rz = graphDistance(p, PauliType::Z);
+    ASSERT_EQ(rz.distance, 5u);
+    ASSERT_EQ(rz.path.size(), 5u);
+    // The path must commute with every X generator (even overlap).
+    for (const auto &g : p.stabilizerGenerators()) {
+        if (g.type != PauliType::X)
+            continue;
+        EXPECT_FALSE(supportsAnticommute(rz.path, g.support));
+    }
+}
+
+TEST(Distance, BareLogicalRepEqualsPathWithoutGauges)
+{
+    const CodePatch p = rectangularPatch(5, 5);
+    const auto rep = bareLogicalRep(p, PauliType::Z);
+    EXPECT_EQ(rep.size(), 5u);
+}
+
+TEST(Distance, RefreshLogicalsKeepsValidity)
+{
+    CodePatch p = rectangularPatch(5, 7);
+    refreshLogicals(p);
+    const auto r = p.validate();
+    EXPECT_TRUE(r.ok) << r.reason;
+    EXPECT_EQ(p.logicalX().size(), 5u);
+    EXPECT_EQ(p.logicalZ().size(), 7u);
+}
+
+} // namespace
+} // namespace surf

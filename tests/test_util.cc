@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Tests for RNG determinism/statistics and the stats helpers, including
+ * the Poisson block-probability math behind the layout generator example
+ * in paper Sec. VI.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hh"
+#include "util/stats.hh"
+
+namespace surf {
+namespace {
+
+TEST(Rng, DeterministicForSeed)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += (a.next() == b.next());
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(5);
+    double sum = 0;
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Rng, BelowIsInRange)
+{
+    Rng rng(6);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(rng.below(17), 17u);
+}
+
+TEST(Rng, GeometricSkipMeanMatches)
+{
+    Rng rng(7);
+    const double p = 0.01;
+    double total = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        total += static_cast<double>(rng.geometricSkip(p));
+    // Mean of the geometric (number of failures before success) is (1-p)/p.
+    EXPECT_NEAR(total / n, (1 - p) / p, 4.0);
+}
+
+TEST(Rng, PoissonMeanMatches)
+{
+    Rng rng(8);
+    for (double lambda : {0.3, 3.0, 80.0}) {
+        double total = 0;
+        const int n = 20000;
+        for (int i = 0; i < n; ++i)
+            total += static_cast<double>(rng.poisson(lambda));
+        EXPECT_NEAR(total / n, lambda, 5 * std::sqrt(lambda / n) + 0.05)
+            << "lambda=" << lambda;
+    }
+}
+
+TEST(Rng, SampleWithoutReplacementIsDistinct)
+{
+    Rng rng(9);
+    auto sample = rng.sampleWithoutReplacement(50, 20);
+    ASSERT_EQ(sample.size(), 20u);
+    std::vector<bool> seen(50, false);
+    for (uint32_t v : sample) {
+        ASSERT_LT(v, 50u);
+        EXPECT_FALSE(seen[v]);
+        seen[v] = true;
+    }
+}
+
+TEST(Stats, BinomialEstimate)
+{
+    const auto est = estimateBinomial(25, 100);
+    EXPECT_DOUBLE_EQ(est.p, 0.25);
+    EXPECT_NEAR(est.stderr, std::sqrt(0.25 * 0.75 / 100), 1e-12);
+}
+
+TEST(Stats, PerRoundRateInvertsCompounding)
+{
+    const double p_round = 0.001;
+    const uint64_t rounds = 50;
+    const double p_shot = 1 - std::pow(1 - p_round, rounds);
+    EXPECT_NEAR(perRoundRate(p_shot, rounds), p_round, 1e-12);
+    EXPECT_EQ(perRoundRate(1.0, 10), 1.0);
+    EXPECT_EQ(perRoundRate(0.0, 10), 0.0);
+}
+
+TEST(Stats, LinearFitRecoversLine)
+{
+    std::vector<double> xs{1, 2, 3, 4, 5};
+    std::vector<double> ys;
+    for (double x : xs)
+        ys.push_back(3.0 - 2.0 * x);
+    const auto [a, b] = linearFit(xs, ys);
+    EXPECT_NEAR(a, 3.0, 1e-9);
+    EXPECT_NEAR(b, -2.0, 1e-9);
+}
+
+TEST(Stats, PoissonPmfSumsToOne)
+{
+    const double lambda = 2.5;
+    double total = 0;
+    for (unsigned k = 0; k < 60; ++k)
+        total += poissonPmf(lambda, k);
+    EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(Stats, PaperLayoutExample)
+{
+    // Paper Sec. VI: d=27 code, rho = 0.1Hz/26, T = 25ms.
+    // lambda = 2 d^2 rho T ~= 0.14; with Delta_d = 4 and D = 4,
+    // p_block = 1 - p(0) - p(1) ~= 0.0089 < 0.01.
+    const double rho = 0.1 / 26.0;
+    const double T = 25e-3;
+    const int d = 27;
+    const double lambda = 2.0 * d * d * rho * T;
+    EXPECT_NEAR(lambda, 0.14, 0.005);
+    const double p_block = poissonTail(lambda, 1);
+    EXPECT_LT(p_block, 0.01);
+    EXPECT_NEAR(p_block, 0.0089, 0.0015);
+}
+
+} // namespace
+} // namespace surf
