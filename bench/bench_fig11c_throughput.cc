@@ -18,6 +18,7 @@ main(int argc, char **argv)
 {
     const double scale = benchutil::scale(argc, argv);
     const int reps = std::max(1, static_cast<int>(8 * scale));
+    benchutil::JsonReport report(argc, argv, "fig11c_throughput");
     benchutil::header("Fig. 11(c): task-set throughput vs defect rate");
     std::printf("100 logical qubits; 5 tasks x 25 CNOTs on 50 qubits; "
                 "%d defect samples per point\n\n", reps);
@@ -47,6 +48,12 @@ main(int argc, char **argv)
             std::printf("%-10.1e task%-4d | %-10.3f %-10.3f %-10.3f\n",
                         rate, set + 1, thr[0] / reps, thr[1] / reps,
                         thr[2] / reps);
+            char prefix[64];
+            std::snprintf(prefix, sizeof prefix, "rate%.1e_task%d_",
+                          rate, set + 1);
+            report.metric(std::string(prefix) + "ls", thr[0] / reps);
+            report.metric(std::string(prefix) + "q3de", thr[1] / reps);
+            report.metric(std::string(prefix) + "surfdef", thr[2] / reps);
         }
     }
     std::printf("\nExpected shape (paper): Q3DE throughput collapses with\n"

@@ -8,6 +8,7 @@
 #include <benchmark/benchmark.h>
 
 #include "core/deformation_unit.hh"
+#include "decode/memory_experiment.hh"
 #include "decode/mwpm.hh"
 #include "lattice/distance.hh"
 #include "lattice/rotated.hh"
@@ -43,6 +44,56 @@ BM_FrameSimulator(benchmark::State &state)
 BENCHMARK(BM_FrameSimulator)->Arg(3)->Arg(5)->Arg(9);
 
 void
+BM_FrameSimulatorReuse(benchmark::State &state)
+{
+    // Same sampling work as BM_FrameSimulator, but reusing one simulator's
+    // frame/record/detector buffers via reset() + run() instead of
+    // reconstructing: measures the allocation overhead removed per batch.
+    const auto built = standardCircuit(static_cast<int>(state.range(0)));
+    FrameSimulator sim(built.circuit, 1024, 0);
+    uint64_t seed = 1;
+    for (auto _ : state) {
+        sim.reset(seed++);
+        sim.run();
+        benchmark::DoNotOptimize(sim.numDetectors());
+    }
+    state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_FrameSimulatorReuse)->Arg(3)->Arg(5)->Arg(9);
+
+void
+BM_SyndromeExtractDense(benchmark::State &state)
+{
+    // Seed extraction path: one O(numDetectors) bit-scan per shot.
+    const auto built = standardCircuit(static_cast<int>(state.range(0)));
+    FrameSimulator sim(built.circuit, 1024, 7);
+    for (auto _ : state) {
+        size_t fired = 0;
+        for (size_t s = 0; s < sim.shots(); ++s)
+            fired += sim.firedDetectors(s).size();
+        benchmark::DoNotOptimize(fired);
+    }
+    state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_SyndromeExtractDense)->Arg(3)->Arg(5)->Arg(9);
+
+void
+BM_SyndromeExtractSparse(benchmark::State &state)
+{
+    // Batched transpose: word-scan over detector planes, zero words
+    // skipped, CSR buffers reused across batches.
+    const auto built = standardCircuit(static_cast<int>(state.range(0)));
+    FrameSimulator sim(built.circuit, 1024, 7);
+    SparseSyndromes syndromes;
+    for (auto _ : state) {
+        sim.sparseFiredDetectors(syndromes);
+        benchmark::DoNotOptimize(syndromes.flat.size());
+    }
+    state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_SyndromeExtractSparse)->Arg(3)->Arg(5)->Arg(9);
+
+void
 BM_DemExtraction(benchmark::State &state)
 {
     const auto built = standardCircuit(static_cast<int>(state.range(0)));
@@ -69,6 +120,62 @@ BM_MwpmDecode(benchmark::State &state)
     }
 }
 BENCHMARK(BM_MwpmDecode)->Arg(3)->Arg(5)->Arg(9);
+
+void
+BM_MwpmDecodeScratch(benchmark::State &state)
+{
+    // Same decodes as BM_MwpmDecode with a reused per-thread scratch:
+    // isolates the defect-list/weight-matrix allocation cost per decode.
+    const int d = static_cast<int>(state.range(0));
+    const auto built = standardCircuit(d);
+    const auto dem = buildDem(built.circuit, PauliType::Z);
+    const MwpmDecoder decoder(dem, 1);
+    FrameSimulator sim(built.circuit, 256, 7);
+    const SparseSyndromes syndromes = sim.sparseFiredDetectors();
+    MwpmScratch scratch;
+    size_t shot = 0;
+    for (auto _ : state) {
+        const size_t s = shot % 256;
+        benchmark::DoNotOptimize(decoder.decode(
+            syndromes.data(s), syndromes.count(s), scratch));
+        ++shot;
+    }
+}
+BENCHMARK(BM_MwpmDecodeScratch)->Arg(3)->Arg(5)->Arg(9);
+
+void
+BM_PipelineDecode(benchmark::State &state)
+{
+    // End-to-end sampling + decoding pipeline throughput (the engine
+    // behind fig. 11 and Table II): args are (distance, threads).
+    const int d = static_cast<int>(state.range(0));
+    MemoryExperimentConfig cfg;
+    cfg.spec.rounds = d;
+    cfg.noise.p = 1e-3;
+    cfg.maxShots = 4096;
+    cfg.batchShots = 1024;
+    cfg.targetFailures = 1u << 30;
+    cfg.threads = static_cast<size_t>(state.range(1));
+    const CodePatch patch = squarePatch(d);
+    uint64_t seed = 1;
+    for (auto _ : state) {
+        cfg.seed = seed++;
+        const auto res = runMemoryExperiment(patch, cfg);
+        benchmark::DoNotOptimize(res.failures);
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<int64_t>(cfg.maxShots));
+}
+BENCHMARK(BM_PipelineDecode)
+    ->Args({3, 1})
+    ->Args({5, 1})
+    ->Args({9, 1})
+    ->Args({5, 2})
+    ->Args({5, 4})
+    ->Args({9, 2})
+    ->Args({9, 4})
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
 
 void
 BM_DeformationUnit(benchmark::State &state)

@@ -39,6 +39,7 @@ int
 main(int argc, char **argv)
 {
     const double scale = benchutil::scale(argc, argv);
+    benchutil::JsonReport report(argc, argv, "table2_end_to_end");
     benchutil::header("Table II: end-to-end results (Q3DE / ASC-S / "
                       "Surf-Deformer)");
     std::printf("calibrating logical error model at p = 1e-3 ...\n");
@@ -46,6 +47,8 @@ main(int argc, char **argv)
         1e-3, static_cast<uint64_t>(80000 * scale), 4242, scale >= 4.0);
     std::printf("  p_L(d) = %.3g * %.3g^-(d+1)/2 per round\n\n", model.A,
                 model.Lambda);
+    report.metric("calibration_A", model.A);
+    report.metric("calibration_Lambda", model.Lambda);
 
     std::printf("%-16s %3s |%-24s|%-24s|%-24s\n", "Benchmark", "d",
                 "   Q3DE qubits/risk", "   ASC-S qubits/risk",
@@ -59,8 +62,18 @@ main(int argc, char **argv)
                 cfg.strategy = s;
                 cfg.d = d;
                 cfg.errorModel = model;
-                printCell(estimateRetryRisk(prog, cfg));
+                const auto r = estimateRetryRisk(prog, cfg);
+                printCell(r);
                 std::printf("|");
+                const char *sname = s == Strategy::Q3de    ? "q3de"
+                                    : s == Strategy::Ascs ? "ascs"
+                                                          : "surfdef";
+                const std::string prefix =
+                    prog.name + "_d" + std::to_string(d) + "_" + sname;
+                report.metric(prefix + "_qubits",
+                              static_cast<double>(r.physicalQubits));
+                report.metric(prefix + "_risk",
+                              r.overRuntime ? 1.0 : r.retryRisk);
             }
             std::printf("\n");
         }

@@ -1,8 +1,10 @@
 /**
  * @file
  * Small shared helpers for the benchmark harnesses: command-line flag
- * parsing (--key=value) and a global scale knob so `--scale=10` (or the
- * SURF_BENCH_SCALE environment variable) buys more Monte-Carlo precision.
+ * parsing (--key=value), a global scale knob so `--scale=10` (or the
+ * SURF_BENCH_SCALE environment variable) buys more Monte-Carlo precision,
+ * and machine-readable JSON result emission (`BENCH_<name>.json`) so the
+ * performance trajectory can be tracked across commits.
  */
 
 #ifndef SURF_BENCH_BENCH_UTIL_HH
@@ -12,6 +14,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
 
 namespace surf::benchutil {
 
@@ -45,6 +48,76 @@ header(const char *title)
     std::printf("%s\n", title);
     std::printf("==========================================================\n");
 }
+
+/** Parse --key=value (string) from argv, else `fallback` (may be null). */
+inline const char *
+flagString(int argc, char **argv, const char *key, const char *fallback)
+{
+    const std::string prefix = std::string("--") + key + "=";
+    for (int i = 1; i < argc; ++i)
+        if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0)
+            return argv[i] + prefix.size();
+    return fallback;
+}
+
+/**
+ * Machine-readable benchmark results. Metrics are recorded as flat
+ * (name, value) pairs; on destruction, if JSON output is enabled via
+ * `--json=DIR` or the SURF_BENCH_JSON environment variable (a directory,
+ * or "1" for the working directory), the file `DIR/BENCH_<bench>.json`
+ * is written with the schema
+ *
+ *   { "schema": 1, "bench": "<bench>",
+ *     "metrics": [ {"name": "...", "value": <double>}, ... ] }
+ *
+ * so CI and future PRs can diff perf numbers without scraping stdout.
+ */
+class JsonReport
+{
+  public:
+    JsonReport(int argc, char **argv, const char *bench) : bench_(bench)
+    {
+        const char *dir =
+            flagString(argc, argv, "json", std::getenv("SURF_BENCH_JSON"));
+        if (dir)
+            dir_ = (std::strcmp(dir, "1") == 0) ? "." : dir;
+    }
+
+    bool enabled() const { return !dir_.empty(); }
+
+    void
+    metric(const std::string &name, double value)
+    {
+        metrics_.push_back({name, value});
+    }
+
+    ~JsonReport()
+    {
+        if (!enabled())
+            return;
+        const std::string path = dir_ + "/BENCH_" + bench_ + ".json";
+        std::FILE *f = std::fopen(path.c_str(), "w");
+        if (!f) {
+            std::fprintf(stderr, "cannot write %s\n", path.c_str());
+            return;
+        }
+        std::fprintf(f, "{\n  \"schema\": 1,\n  \"bench\": \"%s\",\n"
+                        "  \"metrics\": [\n", bench_.c_str());
+        for (size_t i = 0; i < metrics_.size(); ++i)
+            std::fprintf(f, "    {\"name\": \"%s\", \"value\": %.17g}%s\n",
+                         metrics_[i].first.c_str(), metrics_[i].second,
+                         i + 1 < metrics_.size() ? "," : "");
+        std::fprintf(f, "  ]\n}\n");
+        std::fclose(f);
+        std::printf("wrote %s (%zu metrics)\n", path.c_str(),
+                    metrics_.size());
+    }
+
+  private:
+    std::string bench_;
+    std::string dir_;
+    std::vector<std::pair<std::string, double>> metrics_;
+};
 
 } // namespace surf::benchutil
 

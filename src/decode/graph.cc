@@ -2,9 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
-#include <queue>
 
 #include "util/logging.hh"
+#include "util/thread_pool.hh"
 
 namespace surf {
 
@@ -20,7 +20,8 @@ edgeWeight(double p)
 
 } // namespace
 
-DecodingGraph::DecodingGraph(const DetectorErrorModel &dem, uint8_t tag)
+DecodingGraph::DecodingGraph(const DetectorErrorModel &dem, uint8_t tag,
+                             ThreadPool *pool)
 {
     local_of_.assign(dem.numDetectors, -1);
     for (uint32_t d = 0; d < dem.numDetectors; ++d) {
@@ -41,7 +42,7 @@ DecodingGraph::DecodingGraph(const DetectorErrorModel &dem, uint8_t tag)
         adj_[static_cast<size_t>(a)].push_back({b, w, e.flipsObs});
         adj_[static_cast<size_t>(b)].push_back({a, w, e.flipsObs});
     }
-    buildApsp();
+    buildApsp(pool);
 }
 
 int
@@ -52,54 +53,76 @@ DecodingGraph::localOf(uint32_t global_det) const
 }
 
 void
-DecodingGraph::buildApsp()
+DecodingGraph::buildApsp(ThreadPool *pool)
 {
     const size_t n = numNodes() + 1;
-    dist_.assign(n, std::vector<float>(n,
-                                       std::numeric_limits<float>::infinity()));
-    obs_.assign(n, BitVec(n));
+    dist_.assign(n * (n + 1) / 2, std::numeric_limits<float>::infinity());
+    obs_.assign(n * (n + 1) / 2, 0);
+
+    // Dijkstra from every source. All per-source state is hoisted out of
+    // the loop and held per worker: the binary heap keeps its capacity,
+    // and a generation counter marks which entries of d/par belong to the
+    // current source, replacing the O(n) re-initialisation fills per
+    // source. Each source fills its own triangular row, so rows can run
+    // on any worker with an identical result.
     using Item = std::pair<double, int>;
-    std::vector<double> d(n);
-    std::vector<uint8_t> par(n);
-    for (size_t src = 0; src < n; ++src) {
-        std::fill(d.begin(), d.end(),
-                  std::numeric_limits<double>::infinity());
-        std::fill(par.begin(), par.end(), 0);
-        std::priority_queue<Item, std::vector<Item>, std::greater<>> pq;
-        d[src] = 0.0;
-        pq.push({0.0, static_cast<int>(src)});
-        while (!pq.empty()) {
-            const auto [dv, v] = pq.top();
-            pq.pop();
-            if (dv > d[static_cast<size_t>(v)])
+    struct Scratch
+    {
+        std::vector<Item> heap;
+        std::vector<double> d;
+        std::vector<uint8_t> par;
+        std::vector<uint32_t> gen;
+        uint32_t cur = 0;
+    };
+    std::vector<Scratch> scratch(pool ? pool->size() : 1);
+    for (Scratch &sc : scratch) {
+        sc.d.resize(n);
+        sc.par.resize(n);
+        sc.gen.assign(n, 0);
+    }
+    const auto by_dist = std::greater<Item>();
+    auto fillRow = [&](size_t src, size_t worker) {
+        Scratch &sc = scratch[worker];
+        auto &heap = sc.heap;
+        ++sc.cur;
+        heap.clear();
+        sc.d[src] = 0.0;
+        sc.par[src] = 0;
+        sc.gen[src] = sc.cur;
+        heap.push_back({0.0, static_cast<int>(src)});
+        while (!heap.empty()) {
+            std::pop_heap(heap.begin(), heap.end(), by_dist);
+            const auto [dv, v] = heap.back();
+            heap.pop_back();
+            if (dv > sc.d[static_cast<size_t>(v)])
                 continue;
             for (const Edge &e : adj_[static_cast<size_t>(v)]) {
+                const auto to = static_cast<size_t>(e.to);
                 const double nd = dv + e.w;
-                if (nd < d[static_cast<size_t>(e.to)] - 1e-12) {
-                    d[static_cast<size_t>(e.to)] = nd;
-                    par[static_cast<size_t>(e.to)] =
-                        par[static_cast<size_t>(v)] ^ (e.obs ? 1 : 0);
-                    pq.push({nd, e.to});
+                if (sc.gen[to] != sc.cur || nd < sc.d[to] - 1e-12) {
+                    sc.gen[to] = sc.cur;
+                    sc.d[to] = nd;
+                    sc.par[to] =
+                        sc.par[static_cast<size_t>(v)] ^ (e.obs ? 1 : 0);
+                    heap.push_back({nd, e.to});
+                    std::push_heap(heap.begin(), heap.end(), by_dist);
                 }
             }
         }
-        for (size_t t = 0; t < n; ++t) {
-            dist_[src][t] = static_cast<float>(d[t]);
-            obs_[src].set(t, par[t]);
+        for (size_t t = src; t < n; ++t) {
+            if (sc.gen[t] != sc.cur)
+                continue; // unreachable: stays at infinity
+            const size_t idx = triIndex(static_cast<int>(src),
+                                        static_cast<int>(t));
+            dist_[idx] = static_cast<float>(sc.d[t]);
+            obs_[idx] = sc.par[t];
         }
-    }
-}
-
-double
-DecodingGraph::dist(int a, int b) const
-{
-    return dist_[static_cast<size_t>(a)][static_cast<size_t>(b)];
-}
-
-bool
-DecodingGraph::obsParity(int a, int b) const
-{
-    return obs_[static_cast<size_t>(a)].get(static_cast<size_t>(b));
+    };
+    if (pool)
+        pool->parallelFor(n, fillRow);
+    else
+        for (size_t src = 0; src < n; ++src)
+            fillRow(src, 0);
 }
 
 } // namespace surf

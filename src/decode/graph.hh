@@ -12,17 +12,24 @@
 #include <limits>
 #include <vector>
 
-#include "pauli/bitvec.hh"
 #include "sim/dem.hh"
 
 namespace surf {
+
+class ThreadPool;
 
 /** Decoding graph over the detectors of one basis tag. */
 class DecodingGraph
 {
   public:
-    /** @param tag 0 = X-check detectors, 1 = Z-check detectors */
-    DecodingGraph(const DetectorErrorModel &dem, uint8_t tag);
+    /**
+     * @param tag 0 = X-check detectors, 1 = Z-check detectors
+     * @param pool optional worker pool: the all-pairs shortest-path rows
+     *             are independent, so construction parallelises cleanly
+     *             (the result is identical for any worker count)
+     */
+    DecodingGraph(const DetectorErrorModel &dem, uint8_t tag,
+                  ThreadPool *pool = nullptr);
 
     size_t numNodes() const { return global_of_.size(); }
     int boundaryNode() const { return static_cast<int>(numNodes()); }
@@ -31,15 +38,39 @@ class DecodingGraph
     int localOf(uint32_t global_det) const;
 
     /** Shortest-path distance between local nodes (boundaryNode() ok). */
-    double dist(int a, int b) const;
+    double
+    dist(int a, int b) const
+    {
+        return dist_[triIndex(a, b)];
+    }
 
     /** Observable parity along one shortest path between local nodes. */
-    bool obsParity(int a, int b) const;
+    bool
+    obsParity(int a, int b) const
+    {
+        return obs_[triIndex(a, b)] != 0;
+    }
 
     static constexpr double kInf = std::numeric_limits<double>::infinity();
 
   private:
-    void buildApsp();
+    void buildApsp(ThreadPool *pool);
+
+    /**
+     * Index into the flat upper-triangular APSP storage (diagonal
+     * included): row a holds entries for targets t >= a. Symmetric
+     * lookups swap so (a, b) and (b, a) share one slot — shortest-path
+     * distance is symmetric, and either direction's shortest path is a
+     * valid witness for the observable parity.
+     */
+    size_t
+    triIndex(int a, int b) const
+    {
+        auto lo = static_cast<size_t>(a < b ? a : b);
+        auto hi = static_cast<size_t>(a < b ? b : a);
+        const size_t n = numNodes() + 1;
+        return lo * n - lo * (lo + 1) / 2 + hi;
+    }
 
     struct Edge
     {
@@ -51,8 +82,10 @@ class DecodingGraph
     std::vector<uint32_t> global_of_;
     std::vector<int> local_of_;
     std::vector<std::vector<Edge>> adj_; // index numNodes() = boundary
-    std::vector<std::vector<float>> dist_;
-    std::vector<BitVec> obs_;
+    std::vector<float> dist_;            // flat triangular, see triIndex()
+    std::vector<uint8_t> obs_;           // parities, same indexing; bytes
+                                         // so parallel row fills don't
+                                         // share words across rows
 };
 
 } // namespace surf

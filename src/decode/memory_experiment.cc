@@ -1,12 +1,14 @@
 #include "decode/memory_experiment.hh"
 
 #include <algorithm>
+#include <memory>
 
 #include "decode/mwpm.hh"
 #include "decode/union_find.hh"
 #include "sim/dem.hh"
 #include "sim/frame.hh"
 #include "util/stats.hh"
+#include "util/thread_pool.hh"
 
 namespace surf {
 
@@ -19,13 +21,17 @@ runMemoryExperiment(const CodePatch &patch, const MemoryExperimentConfig &cfg)
     const BuiltCircuit built = buildMemoryCircuit(patch, cfg.spec, cfg.noise);
     // The decoder's error model: defect-unaware unless configured
     // otherwise (the circuit structure is identical, only rates differ).
+    // When the views coincide the sampling circuit is reused directly.
     NoiseParams decoder_noise = cfg.noise;
     if (!cfg.decoderKnowsDefects)
         decoder_noise.defectiveSites.clear();
+    const bool same_view =
+        cfg.decoderKnowsDefects || cfg.noise.defectiveSites.empty();
     const BuiltCircuit decoder_view =
-        buildMemoryCircuit(patch, cfg.spec, decoder_noise);
-    const DetectorErrorModel dem =
-        buildDem(decoder_view.circuit, built.obsBasis);
+        same_view ? BuiltCircuit{}
+                  : buildMemoryCircuit(patch, cfg.spec, decoder_noise);
+    const DetectorErrorModel dem = buildDem(
+        same_view ? built.circuit : decoder_view.circuit, built.obsBasis);
     out.numDetectors = dem.numDetectors;
     out.decomposedHyperedges = dem.decomposedComponents;
     out.undetectableObsProb = dem.undetectableObsProb;
@@ -33,35 +39,70 @@ runMemoryExperiment(const CodePatch &patch, const MemoryExperimentConfig &cfg)
     // The observable lives on the graph of the checks that detect the
     // corresponding errors (Z-check detectors for a Z-basis memory).
     const uint8_t tag = (built.obsBasis == PauliType::Z) ? 1 : 0;
-    const MwpmDecoder mwpm(dem, tag);
+    ThreadPool pool(cfg.threads);
+    const MwpmDecoder mwpm(dem, tag, &pool);
     const UnionFindDecoder uf(dem, tag);
+
+    // Pipeline state, allocated once and reused every batch: the frame
+    // simulator's planes/records, the CSR syndrome transpose, one decode
+    // scratch per worker, and per-worker failure counters merged in a
+    // fixed order (which keeps the result independent of scheduling).
+    std::vector<MwpmScratch> mwpm_scratch(pool.size());
+    std::vector<UfScratch> uf_scratch(pool.size());
+    std::vector<uint64_t> worker_failures(pool.size());
+    SparseSyndromes syndromes;
+    std::unique_ptr<FrameSimulator> sim;
 
     uint64_t batch_seed = cfg.seed;
     while (out.shots < cfg.maxShots && out.failures < cfg.targetFailures) {
         const size_t batch = static_cast<size_t>(
             std::min<uint64_t>(cfg.batchShots, cfg.maxShots - out.shots));
-        FrameSimulator sim(built.circuit, batch, batch_seed++);
-        for (size_t s = 0; s < batch; ++s) {
-            const auto fired = sim.firedDetectors(s);
-            bool predicted;
-            switch (cfg.decoder) {
-              case DecoderKind::Mwpm:
-                predicted = mwpm.decode(fired);
-                break;
-              case DecoderKind::UnionFind:
-                predicted = uf.decode(fired);
-                break;
-              case DecoderKind::Auto:
-              default:
-                predicted = (fired.size() <= cfg.mwpmDefectCap)
-                                ? mwpm.decode(fired)
-                                : uf.decode(fired);
-                break;
-            }
-            const bool actual = sim.observableBits(0).get(s);
-            if (predicted != actual)
-                ++out.failures;
+        if (!sim || sim->shots() != batch) {
+            // First batch, or the final partial batch: (re)build buffers.
+            sim = std::make_unique<FrameSimulator>(built.circuit, batch,
+                                                   batch_seed++);
+        } else {
+            sim->reset(batch_seed++);
+            sim->run();
         }
+        sim->sparseFiredDetectors(syndromes);
+        const BitVec &obs_bits = sim->observableBits(0);
+
+        std::fill(worker_failures.begin(), worker_failures.end(), 0);
+        // A few shards per worker: decode cost varies shot to shot, so
+        // dynamic claiming of smallish shards balances the load.
+        const size_t n_shards = std::min(batch, pool.size() * 4);
+        pool.parallelFor(n_shards, [&](size_t shard, size_t worker) {
+            const size_t begin = batch * shard / n_shards;
+            const size_t end = batch * (shard + 1) / n_shards;
+            uint64_t failures = 0;
+            for (size_t s = begin; s < end; ++s) {
+                const uint32_t *fired = syndromes.data(s);
+                const size_t n_fired = syndromes.count(s);
+                bool predicted;
+                switch (cfg.decoder) {
+                  case DecoderKind::Mwpm:
+                    predicted =
+                        mwpm.decode(fired, n_fired, mwpm_scratch[worker]);
+                    break;
+                  case DecoderKind::UnionFind:
+                    predicted = uf.decode(fired, n_fired, uf_scratch[worker]);
+                    break;
+                  case DecoderKind::Auto:
+                  default:
+                    predicted =
+                        (n_fired <= cfg.mwpmDefectCap)
+                            ? mwpm.decode(fired, n_fired,
+                                          mwpm_scratch[worker])
+                            : uf.decode(fired, n_fired, uf_scratch[worker]);
+                    break;
+                }
+                failures += predicted != obs_bits.get(s);
+            }
+            worker_failures[worker] += failures;
+        });
+        for (uint64_t f : worker_failures)
+            out.failures += f;
         out.shots += batch;
     }
 

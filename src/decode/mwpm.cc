@@ -8,11 +8,13 @@
 namespace surf {
 
 bool
-MwpmDecoder::decode(const std::vector<uint32_t> &fired_global) const
+MwpmDecoder::decode(const uint32_t *fired, size_t n_fired,
+                    MwpmScratch &scratch) const
 {
-    std::vector<int> defects;
-    for (uint32_t g : fired_global) {
-        const int l = graph_.localOf(g);
+    auto &defects = scratch.defects;
+    defects.clear();
+    for (size_t i = 0; i < n_fired; ++i) {
+        const int l = graph_.localOf(fired[i]);
         if (l >= 0)
             defects.push_back(l);
     }
@@ -21,12 +23,32 @@ MwpmDecoder::decode(const std::vector<uint32_t> &fired_global) const
         return false;
     const int bnode = graph_.boundaryNode();
 
+    // Closed-form fast paths for the overwhelmingly common low-weight
+    // syndromes — no blossom workspace needed. k = 1: the only perfect
+    // matching pairs the defect with its boundary copy. k = 2: either
+    // both defects match each other (their virtuals pair for free) or
+    // each goes to the boundary; pick the lighter total.
+    if (k == 1)
+        return graph_.obsParity(defects[0], bnode);
+    if (k == 2) {
+        const double pair_w = graph_.dist(defects[0], defects[1]);
+        const double bdry_w =
+            graph_.dist(defects[0], bnode) + graph_.dist(defects[1], bnode);
+        if (pair_w <= bdry_w)
+            return std::isfinite(pair_w)
+                       ? graph_.obsParity(defects[0], defects[1])
+                       : false;
+        return graph_.obsParity(defects[0], bnode) ^
+               graph_.obsParity(defects[1], bnode);
+    }
+
     // Complete graph on defects plus one virtual boundary copy each:
     // defect i <-> defect j at path distance, defect i <-> its own virtual
     // at boundary distance, virtual <-> virtual free.
     const int n = 2 * k;
     constexpr double kScale = 1024.0;
-    std::vector<int64_t> w(static_cast<size_t>(n) * n, kMatchForbidden);
+    auto &w = scratch.weights;
+    w.assign(static_cast<size_t>(n) * n, kMatchForbidden);
     auto at = [&](int a, int b) -> int64_t & {
         return w[static_cast<size_t>(a) * n + b];
     };

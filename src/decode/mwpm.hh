@@ -9,29 +9,55 @@
 #ifndef SURF_DECODE_MWPM_HH
 #define SURF_DECODE_MWPM_HH
 
-#include <memory>
+#include <cstdint>
+#include <vector>
 
 #include "decode/graph.hh"
 
 namespace surf {
 
+/**
+ * Reusable per-thread decode workspace: the defect list and the dense
+ * matching weight matrix keep their heap buffers across calls, so a
+ * steady-state decode loop performs no allocation here. Each worker
+ * thread owns one scratch; the decoder itself stays immutable and
+ * shareable.
+ */
+struct MwpmScratch
+{
+    std::vector<int> defects;
+    std::vector<int64_t> weights;
+};
+
 /** MWPM decoder for one basis tag of a detector error model. */
 class MwpmDecoder
 {
   public:
-    MwpmDecoder(const DetectorErrorModel &dem, uint8_t tag)
-        : graph_(dem, tag)
+    /** @param pool optional workers for parallel graph construction */
+    MwpmDecoder(const DetectorErrorModel &dem, uint8_t tag,
+                ThreadPool *pool = nullptr)
+        : graph_(dem, tag, pool)
     {
     }
 
     const DecodingGraph &graph() const { return graph_; }
 
     /**
-     * Decode one shot: `fired_global` lists fired detector ids (global);
-     * detectors of other tags are ignored.
+     * Decode one shot: `fired` points at `n_fired` fired detector ids
+     * (global); detectors of other tags are ignored. Thread-safe given a
+     * per-thread scratch.
      * @return predicted observable flip
      */
-    bool decode(const std::vector<uint32_t> &fired_global) const;
+    bool decode(const uint32_t *fired, size_t n_fired,
+                MwpmScratch &scratch) const;
+
+    /** Convenience overload allocating a throwaway scratch. */
+    bool
+    decode(const std::vector<uint32_t> &fired_global) const
+    {
+        MwpmScratch scratch;
+        return decode(fired_global.data(), fired_global.size(), scratch);
+    }
 
   private:
     DecodingGraph graph_;

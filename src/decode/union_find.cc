@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cmath>
-#include <functional>
 #include <numeric>
 
 #include "util/logging.hh"
@@ -35,28 +34,32 @@ UnionFindDecoder::UnionFindDecoder(const DetectorErrorModel &dem, uint8_t tag)
 }
 
 bool
-UnionFindDecoder::decode(const std::vector<uint32_t> &fired_global) const
+UnionFindDecoder::decode(const uint32_t *fired, size_t n_fired,
+                         UfScratch &sc) const
 {
     const int nb = numNodes_; // boundary node id
-    std::vector<uint8_t> defect(static_cast<size_t>(numNodes_) + 1, 0);
+    const size_t n = static_cast<size_t>(numNodes_) + 1;
+    sc.defect.assign(n, 0);
     int n_defects = 0;
-    for (uint32_t g : fired_global) {
-        const int l = local_of_[g];
+    for (size_t i = 0; i < n_fired; ++i) {
+        const int l = local_of_[fired[i]];
         if (l >= 0) {
-            defect[static_cast<size_t>(l)] ^= 1;
+            sc.defect[static_cast<size_t>(l)] ^= 1;
             ++n_defects;
         }
     }
     if (n_defects == 0)
         return false;
 
-    // Union-find with cluster parity and boundary flags.
-    std::vector<int> parent(static_cast<size_t>(numNodes_) + 1);
-    std::iota(parent.begin(), parent.end(), 0);
-    std::vector<uint8_t> parity(defect);
-    std::vector<uint8_t> has_boundary(static_cast<size_t>(numNodes_) + 1, 0);
-    has_boundary[static_cast<size_t>(nb)] = 1;
-    std::function<int(int)> find = [&](int v) {
+    // Union-find with cluster parity and boundary flags. All state lives
+    // in the scratch, so repeated decodes reuse the same buffers.
+    sc.parent.resize(n);
+    std::iota(sc.parent.begin(), sc.parent.end(), 0);
+    sc.parity.assign(sc.defect.begin(), sc.defect.end());
+    sc.has_boundary.assign(n, 0);
+    sc.has_boundary[static_cast<size_t>(nb)] = 1;
+    auto &parent = sc.parent;
+    auto find = [&parent](int v) {
         while (parent[static_cast<size_t>(v)] != v) {
             parent[static_cast<size_t>(v)] =
                 parent[static_cast<size_t>(parent[static_cast<size_t>(v)])];
@@ -65,12 +68,12 @@ UnionFindDecoder::decode(const std::vector<uint32_t> &fired_global) const
         return v;
     };
 
-    std::vector<int> growth(edges_.size(), 0);
-    std::vector<uint8_t> fused(edges_.size(), 0);
-    std::vector<int> forest; // edges that performed a union (spanning)
+    sc.growth.assign(edges_.size(), 0);
+    sc.fused.assign(edges_.size(), 0);
+    sc.forest.clear(); // edges that performed a union (spanning)
     auto active = [&](int root) {
-        return parity[static_cast<size_t>(root)] &&
-               !has_boundary[static_cast<size_t>(root)];
+        return sc.parity[static_cast<size_t>(root)] &&
+               !sc.has_boundary[static_cast<size_t>(root)];
     };
 
     bool any_active = true;
@@ -80,11 +83,11 @@ UnionFindDecoder::decode(const std::vector<uint32_t> &fired_global) const
         any_active = false;
         // Grow every edge incident to an active cluster.
         for (size_t e = 0; e < edges_.size(); ++e) {
-            if (fused[e])
+            if (sc.fused[e])
                 continue;
             const int ra = find(edges_[e].a), rb = find(edges_[e].b);
             if (ra == rb) {
-                fused[e] = 1;
+                sc.fused[e] = 1;
                 continue;
             }
             int add = 0;
@@ -94,16 +97,16 @@ UnionFindDecoder::decode(const std::vector<uint32_t> &fired_global) const
                 ++add;
             if (add == 0)
                 continue;
-            growth[e] += add;
-            if (growth[e] >= edges_[e].units) {
-                fused[e] = 1;
-                forest.push_back(static_cast<int>(e));
+            sc.growth[e] += add;
+            if (sc.growth[e] >= edges_[e].units) {
+                sc.fused[e] = 1;
+                sc.forest.push_back(static_cast<int>(e));
                 // Union rb into ra.
-                parent[static_cast<size_t>(rb)] = ra;
-                parity[static_cast<size_t>(ra)] ^=
-                    parity[static_cast<size_t>(rb)];
-                has_boundary[static_cast<size_t>(ra)] |=
-                    has_boundary[static_cast<size_t>(rb)];
+                sc.parent[static_cast<size_t>(rb)] = ra;
+                sc.parity[static_cast<size_t>(ra)] ^=
+                    sc.parity[static_cast<size_t>(rb)];
+                sc.has_boundary[static_cast<size_t>(ra)] |=
+                    sc.has_boundary[static_cast<size_t>(rb)];
             }
         }
         for (int v = 0; v <= numNodes_; ++v)
@@ -115,51 +118,54 @@ UnionFindDecoder::decode(const std::vector<uint32_t> &fired_global) const
 
     // Peeling over the spanning forest: include an edge iff the subtree
     // hanging off it has odd defect parity. Roots prefer the boundary.
-    std::vector<std::vector<std::pair<int, int>>> tree(
-        static_cast<size_t>(numNodes_) + 1); // node -> (edge, other)
-    for (int e : forest) {
-        tree[static_cast<size_t>(edges_[static_cast<size_t>(e)].a)]
+    if (sc.tree.size() != n)
+        sc.tree.assign(n, {});
+    else
+        for (auto &t : sc.tree)
+            t.clear();
+    for (int e : sc.forest) {
+        sc.tree[static_cast<size_t>(edges_[static_cast<size_t>(e)].a)]
             .push_back({e, edges_[static_cast<size_t>(e)].b});
-        tree[static_cast<size_t>(edges_[static_cast<size_t>(e)].b)]
+        sc.tree[static_cast<size_t>(edges_[static_cast<size_t>(e)].b)]
             .push_back({e, edges_[static_cast<size_t>(e)].a});
     }
-    std::vector<uint8_t> visited(static_cast<size_t>(numNodes_) + 1, 0);
+    sc.visited.assign(n, 0);
     bool obs = false;
     // Iterative post-order from each root; boundary first so boundary
     // clusters are rooted there.
-    std::vector<int> order;
-    std::vector<std::pair<int, int>> parent_edge(
-        static_cast<size_t>(numNodes_) + 1, {-1, -1});
+    sc.order.clear();
+    sc.parent_edge.assign(n, {-1, -1});
     auto bfs_from = [&](int root) {
-        visited[static_cast<size_t>(root)] = 1;
-        std::vector<int> queue{root};
-        for (size_t h = 0; h < queue.size(); ++h) {
-            const int v = queue[h];
-            order.push_back(v);
-            for (const auto &[e, to] : tree[static_cast<size_t>(v)]) {
-                if (!visited[static_cast<size_t>(to)]) {
-                    visited[static_cast<size_t>(to)] = 1;
-                    parent_edge[static_cast<size_t>(to)] = {e, v};
-                    queue.push_back(to);
+        sc.visited[static_cast<size_t>(root)] = 1;
+        sc.bfs_queue.clear();
+        sc.bfs_queue.push_back(root);
+        for (size_t h = 0; h < sc.bfs_queue.size(); ++h) {
+            const int v = sc.bfs_queue[h];
+            sc.order.push_back(v);
+            for (const auto &[e, to] : sc.tree[static_cast<size_t>(v)]) {
+                if (!sc.visited[static_cast<size_t>(to)]) {
+                    sc.visited[static_cast<size_t>(to)] = 1;
+                    sc.parent_edge[static_cast<size_t>(to)] = {e, v};
+                    sc.bfs_queue.push_back(to);
                 }
             }
         }
     };
     bfs_from(nb);
     for (int v = 0; v < numNodes_; ++v)
-        if (!visited[static_cast<size_t>(v)] &&
-            !tree[static_cast<size_t>(v)].empty())
+        if (!sc.visited[static_cast<size_t>(v)] &&
+            !sc.tree[static_cast<size_t>(v)].empty())
             bfs_from(v);
-    std::vector<uint8_t> sub(defect);
-    for (size_t i = order.size(); i-- > 0;) {
-        const int v = order[static_cast<size_t>(i)];
-        const auto &[e, par] = parent_edge[static_cast<size_t>(v)];
+    sc.sub.assign(sc.defect.begin(), sc.defect.end());
+    for (size_t i = sc.order.size(); i-- > 0;) {
+        const int v = sc.order[static_cast<size_t>(i)];
+        const auto &[e, par] = sc.parent_edge[static_cast<size_t>(v)];
         if (e < 0)
             continue;
-        if (sub[static_cast<size_t>(v)]) {
+        if (sc.sub[static_cast<size_t>(v)]) {
             obs ^= edges_[static_cast<size_t>(e)].obs;
-            sub[static_cast<size_t>(par)] ^= 1;
-            sub[static_cast<size_t>(v)] = 0;
+            sc.sub[static_cast<size_t>(par)] ^= 1;
+            sc.sub[static_cast<size_t>(v)] = 0;
         }
     }
     return obs;

@@ -10,11 +10,26 @@
 #define SURF_DECODE_UNION_FIND_HH
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "sim/dem.hh"
 
 namespace surf {
+
+/**
+ * Reusable per-thread workspace for the union-find decoder: cluster
+ * state, growth counters and the peeling forest all keep their heap
+ * buffers between decodes. One scratch per worker thread; the decoder
+ * itself is immutable and shareable.
+ */
+struct UfScratch
+{
+    std::vector<uint8_t> defect, parity, has_boundary, fused, visited, sub;
+    std::vector<int> parent, growth, forest, order, bfs_queue;
+    std::vector<std::pair<int, int>> parent_edge; // node -> (edge, parent)
+    std::vector<std::vector<std::pair<int, int>>> tree; // node -> (edge, to)
+};
 
 /** Union-find decoder over one basis tag of a detector error model. */
 class UnionFindDecoder
@@ -22,8 +37,21 @@ class UnionFindDecoder
   public:
     UnionFindDecoder(const DetectorErrorModel &dem, uint8_t tag);
 
-    /** Decode one shot; returns the predicted observable flip. */
-    bool decode(const std::vector<uint32_t> &fired_global) const;
+    /**
+     * Decode one shot from `n_fired` global detector ids; thread-safe
+     * given a per-thread scratch.
+     * @return predicted observable flip
+     */
+    bool decode(const uint32_t *fired, size_t n_fired,
+                UfScratch &scratch) const;
+
+    /** Convenience overload allocating a throwaway scratch. */
+    bool
+    decode(const std::vector<uint32_t> &fired_global) const
+    {
+        UfScratch scratch;
+        return decode(fired_global.data(), fired_global.size(), scratch);
+    }
 
   private:
     struct Edge

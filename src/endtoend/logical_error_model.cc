@@ -30,7 +30,7 @@ LogicalErrorModel::failureOver(double d, double rounds) const
 
 LogicalErrorModel
 LogicalErrorModel::calibrate(double p, uint64_t max_shots, uint64_t seed,
-                             bool include_d7)
+                             bool include_d7, size_t threads)
 {
     std::vector<double> ds, logps;
     std::vector<int> distances{3, 5};
@@ -43,6 +43,7 @@ LogicalErrorModel::calibrate(double p, uint64_t max_shots, uint64_t seed,
         cfg.maxShots = max_shots;
         cfg.targetFailures = 400;
         cfg.seed = seed + static_cast<uint64_t>(d);
+        cfg.threads = threads;
         const auto res = runMemoryExperiment(squarePatch(d), cfg);
         if (res.failures < 3)
             break; // too clean to fit further points

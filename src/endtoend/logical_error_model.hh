@@ -11,6 +11,7 @@
 #ifndef SURF_ENDTOEND_LOGICAL_ERROR_MODEL_HH
 #define SURF_ENDTOEND_LOGICAL_ERROR_MODEL_HH
 
+#include <cstddef>
 #include <cstdint>
 
 namespace surf {
@@ -30,12 +31,17 @@ struct LogicalErrorModel
     /**
      * Calibrate (A, Lambda) from Monte-Carlo memory experiments at small
      * distances (d = 3, 5[, 7]) under physical rate p. Expensive; bench
-     * harnesses call this once and share the result.
+     * harnesses call this once and share the result. Sampling + decoding
+     * runs on the parallel pipeline; the fit is identical for any thread
+     * count.
      *
      * @param max_shots sampling budget per distance
+     * @param threads decode workers (0 = hardware concurrency)
      */
     static LogicalErrorModel calibrate(double p, uint64_t max_shots = 200000,
-                                       uint64_t seed = 99, bool include_d7 = false);
+                                       uint64_t seed = 99,
+                                       bool include_d7 = false,
+                                       size_t threads = 0);
 };
 
 } // namespace surf

@@ -7,6 +7,7 @@
 #include "defects/defect_sampler.hh"
 #include "lattice/rotated.hh"
 #include "util/logging.hh"
+#include "util/thread_pool.hh"
 
 namespace surf {
 
@@ -37,29 +38,37 @@ measuredDistanceLoss(Strategy s, int d_cal, int delta_d, int samples,
         return loss;
     }
 
+    // Sample the defect centers serially (one RNG stream), then evaluate
+    // the deformation strategy for each region across the worker pool.
+    // Per-sample losses are reduced in index order, so the estimate is
+    // identical for any worker count.
     Rng rng(seed);
     const CodePatch ref = squarePatch(d_cal);
-    double total = 0.0;
-    int counted = 0;
-    for (int i = 0; i < samples; ++i) {
-        const Coord center{
-            ref.xMin() + static_cast<int>(rng.below(
-                             static_cast<uint64_t>(2 * d_cal - 1))),
-            ref.yMin() + static_cast<int>(rng.below(
-                             static_cast<uint64_t>(2 * d_cal - 1)))};
-        const auto sites = DefectSampler::regionSites(center,
-                                                      region_diameter);
+    std::vector<Coord> centers;
+    centers.reserve(static_cast<size_t>(samples));
+    for (int i = 0; i < samples; ++i)
+        centers.push_back(
+            {ref.xMin() + static_cast<int>(rng.below(
+                              static_cast<uint64_t>(2 * d_cal - 1))),
+             ref.yMin() + static_cast<int>(rng.below(
+                              static_cast<uint64_t>(2 * d_cal - 1)))});
+    std::vector<double> losses(centers.size(), 0.0);
+    // One process-lifetime pool: the cache above makes calls rare, but a
+    // cache miss should not pay thread spawn/join on top of the sampling.
+    static ThreadPool pool;
+    pool.parallelFor(centers.size(), [&](size_t i, size_t) {
+        const auto sites =
+            DefectSampler::regionSites(centers[i], region_diameter);
         const auto out = applyStrategy(s, d_cal, delta_d, sites);
-        if (!out.alive) {
-            total += d_cal; // destroyed patch: count the full distance
-            ++counted;
-            continue;
-        }
-        total += static_cast<double>(d_cal) -
-                 static_cast<double>(out.minDist());
-        ++counted;
-    }
-    const double loss = counted ? total / counted : 0.0;
+        // A destroyed patch counts the full distance as lost.
+        losses[i] = out.alive ? static_cast<double>(d_cal) -
+                                    static_cast<double>(out.minDist())
+                              : static_cast<double>(d_cal);
+    });
+    double total = 0.0;
+    for (double l : losses)
+        total += l;
+    const double loss = samples > 0 ? total / samples : 0.0;
     cache[key] = loss;
     return loss;
 }

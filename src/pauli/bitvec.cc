@@ -63,13 +63,8 @@ std::vector<size_t>
 BitVec::onesPositions() const
 {
     std::vector<size_t> out;
-    for (size_t w = 0; w < words_.size(); ++w) {
-        uint64_t bits = words_[w];
-        while (bits) {
-            out.push_back(w * 64 + static_cast<size_t>(std::countr_zero(bits)));
-            bits &= bits - 1;
-        }
-    }
+    out.reserve(popcount());
+    forEachSetBit([&](size_t i) { out.push_back(i); });
     return out;
 }
 

@@ -7,6 +7,7 @@
 #ifndef SURF_PAULI_BITVEC_HH
 #define SURF_PAULI_BITVEC_HH
 
+#include <bit>
 #include <cstddef>
 #include <cstdint>
 #include <string>
@@ -60,6 +61,24 @@ class BitVec
 
     /** List of set-bit indices. */
     std::vector<size_t> onesPositions() const;
+
+    /**
+     * Invoke `fn(size_t index)` for every set bit in ascending order.
+     * Word-scan with countr_zero: zero words cost one compare, so sparse
+     * vectors are traversed in O(words + popcount) instead of O(nbits).
+     */
+    template <typename Fn>
+    void
+    forEachSetBit(Fn &&fn) const
+    {
+        for (size_t w = 0; w < words_.size(); ++w) {
+            uint64_t bits = words_[w];
+            while (bits) {
+                fn(w * 64 + static_cast<size_t>(std::countr_zero(bits)));
+                bits &= bits - 1;
+            }
+        }
+    }
 
     /** '0'/'1' string, index 0 first. */
     std::string str() const;

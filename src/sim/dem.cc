@@ -1,6 +1,7 @@
 #include "sim/dem.hh"
 
 #include <algorithm>
+#include <iterator>
 #include <map>
 
 #include "util/logging.hh"
@@ -8,37 +9,6 @@
 namespace surf {
 
 namespace {
-
-/** Single-frame symbolic propagation state. */
-struct Frame
-{
-    std::vector<uint8_t> x, z;
-    int active = 0;
-
-    explicit Frame(uint32_t n) : x(n, 0), z(n, 0) {}
-
-    void
-    seed(uint32_t q, bool fx, bool fz)
-    {
-        if (fx && !x[q])
-            ++active;
-        if (!fx && x[q])
-            --active;
-        x[q] = fx;
-        if (fz && !z[q])
-            ++active;
-        if (!fz && z[q])
-            --active;
-        z[q] = fz;
-    }
-
-    void
-    clearQubit(uint32_t q)
-    {
-        active -= x[q] + z[q];
-        x[q] = z[q] = 0;
-    }
-};
 
 /** A noise component: which qubits get which single-qubit Pauli. */
 struct Component
@@ -123,8 +93,6 @@ buildDem(const Circuit &circuit, PauliType obs_basis)
     // Accumulate components keyed by (flipped detector set, obs flip).
     std::map<std::pair<std::vector<uint32_t>, bool>, double> merged;
 
-    Frame frame(circuit.numQubits());
-    std::vector<Component> components;
     std::vector<size_t> meas_before(instrs.size() + 1, 0);
     for (size_t i = 0; i < instrs.size(); ++i) {
         meas_before[i + 1] = meas_before[i];
@@ -132,98 +100,137 @@ buildDem(const Circuit &circuit, PauliType obs_basis)
             meas_before[i + 1] += instrs[i].targets.size();
     }
 
-    for (size_t site = 0; site < instrs.size(); ++site) {
-        if (!isNoiseOp(instrs[site].op) || instrs[site].arg <= 0.0)
-            continue;
-        enumerateComponents(instrs[site], components);
-        for (const Component &comp : components) {
-            // Seed the frame and propagate to the end of the circuit.
-            for (const auto &[q, fx, fz] : comp.paulis)
-                frame.seed(q, fx, fz);
-            std::vector<uint32_t> det_flips;
-            bool obs_flip = false;
-            size_t meas_index = meas_before[site + 1];
-            for (size_t i = site + 1;
-                 i < instrs.size() && (frame.active > 0 || true); ++i) {
-                const auto &ins = instrs[i];
-                switch (ins.op) {
-                  case Op::ResetZ:
-                  case Op::ResetX:
-                    for (uint32_t q : ins.targets)
-                        frame.clearQubit(q);
-                    break;
-                  case Op::MeasureZ:
-                    for (uint32_t q : ins.targets) {
-                        if (frame.x[q]) {
-                            for (uint32_t d : meas_to_dets[meas_index])
-                                det_flips.push_back(d);
-                            obs_flip ^= meas_flips_obs[meas_index];
-                        }
-                        if (frame.z[q]) {
-                            frame.active -= 1;
-                            frame.z[q] = 0;
-                        }
-                        ++meas_index;
-                    }
-                    break;
-                  case Op::MeasureX:
-                    for (uint32_t q : ins.targets) {
-                        if (frame.z[q]) {
-                            for (uint32_t d : meas_to_dets[meas_index])
-                                det_flips.push_back(d);
-                            obs_flip ^= meas_flips_obs[meas_index];
-                        }
-                        if (frame.x[q]) {
-                            frame.active -= 1;
-                            frame.x[q] = 0;
-                        }
-                        ++meas_index;
-                    }
-                    break;
-                  case Op::H:
-                    for (uint32_t q : ins.targets)
-                        std::swap(frame.x[q], frame.z[q]);
-                    break;
-                  case Op::CX:
-                    for (size_t k = 0; k + 1 < ins.targets.size(); k += 2) {
-                        const uint32_t c = ins.targets[k];
-                        const uint32_t t = ins.targets[k + 1];
-                        if (frame.x[c]) {
-                            frame.active += frame.x[t] ? -1 : 1;
-                            frame.x[t] ^= 1;
-                        }
-                        if (frame.z[t]) {
-                            frame.active += frame.z[c] ? -1 : 1;
-                            frame.z[c] ^= 1;
-                        }
-                    }
-                    break;
-                  default:
-                    break; // noise/detector/observable/tick: no effect
+    // Backward sensitivity pass (the Stim approach): walk the circuit
+    // once from the end, maintaining for every qubit the sorted set of
+    // detectors an X (sx) or Z (sz) fault at the current position would
+    // flip. A noise site then reads its generators' flip sets off in
+    // O(set size) instead of propagating each one forward through the
+    // rest of the circuit. The observable is carried inside the sets as
+    // the sentinel id `obs_id` (sorting above every detector).
+    const uint32_t obs_id = static_cast<uint32_t>(dem.numDetectors);
+    std::vector<uint32_t> xor_tmp; // shared symmetric-difference scratch
+    auto xorMerge = [&](std::vector<uint32_t> &acc,
+                        const std::vector<uint32_t> &other) {
+        xor_tmp.clear();
+        std::set_symmetric_difference(acc.begin(), acc.end(), other.begin(),
+                                      other.end(),
+                                      std::back_inserter(xor_tmp));
+        acc.swap(xor_tmp);
+    };
+
+    const uint32_t nq = circuit.numQubits();
+    std::vector<std::vector<uint32_t>> sx(nq), sz(nq);
+    // Flip sets of measurement m (detectors referencing it, plus obs).
+    std::vector<std::vector<uint32_t>> meas_flips(circuit.numMeasurements());
+    for (size_t m = 0; m < meas_flips.size(); ++m) {
+        meas_flips[m] = {meas_to_dets[m].begin(), meas_to_dets[m].end()};
+        if (meas_flips_obs[m])
+            meas_flips[m].push_back(obs_id); // ids ascending: obs_id last
+    }
+    // Per noise site: (qubit, X flip set, Z flip set) per distinct target.
+    struct SiteSensitivity
+    {
+        size_t site;
+        std::vector<std::tuple<uint32_t, std::vector<uint32_t>,
+                               std::vector<uint32_t>>>
+            per_qubit;
+    };
+    std::vector<SiteSensitivity> sites; // built backward, replayed forward
+
+    for (size_t i = instrs.size(); i-- > 0;) {
+        const auto &ins = instrs[i];
+        switch (ins.op) {
+          case Op::ResetZ:
+          case Op::ResetX:
+            // Faults before a reset are erased by it.
+            for (uint32_t q : ins.targets) {
+                sx[q].clear();
+                sz[q].clear();
+            }
+            break;
+          case Op::MeasureZ:
+            for (size_t k = ins.targets.size(); k-- > 0;) {
+                const uint32_t q = ins.targets[k];
+                // An X before the measurement flips the record (and
+                // survives it); a Z is destroyed by the collapse.
+                xorMerge(sx[q], meas_flips[meas_before[i] + k]);
+                sz[q].clear();
+            }
+            break;
+          case Op::MeasureX:
+            for (size_t k = ins.targets.size(); k-- > 0;) {
+                const uint32_t q = ins.targets[k];
+                xorMerge(sz[q], meas_flips[meas_before[i] + k]);
+                sx[q].clear();
+            }
+            break;
+          case Op::H:
+            for (uint32_t q : ins.targets)
+                std::swap(sx[q], sz[q]);
+            break;
+          case Op::CX:
+            // Reverse of x_t ^= x_c; z_c ^= z_t: an X on the control
+            // also acts as X on the target afterwards, a Z on the target
+            // also as Z on the control.
+            for (size_t p = ins.targets.size() / 2; p-- > 0;) {
+                const uint32_t c = ins.targets[2 * p];
+                const uint32_t t = ins.targets[2 * p + 1];
+                xorMerge(sx[c], sx[t]);
+                xorMerge(sz[t], sz[c]);
+            }
+            break;
+          default:
+            if (isNoiseOp(ins.op) && ins.arg > 0.0) {
+                SiteSensitivity snap;
+                snap.site = i;
+                for (uint32_t q : ins.targets) {
+                    bool seen = false;
+                    for (const auto &[pq, px, pz] : snap.per_qubit)
+                        if (pq == q)
+                            seen = true;
+                    if (!seen)
+                        snap.per_qubit.emplace_back(q, sx[q], sz[q]);
                 }
-                if (frame.active == 0)
-                    break;
+                sites.push_back(std::move(snap));
             }
-            // Reset any leftover frame for the next component.
-            if (frame.active > 0) {
-                std::fill(frame.x.begin(), frame.x.end(), 0);
-                std::fill(frame.z.begin(), frame.z.end(), 0);
-                frame.active = 0;
+            break; // detector/observable/tick: no effect on frames
+        }
+    }
+    std::reverse(sites.begin(), sites.end()); // forward site order
+
+    // Assemble components per site: detector flips are GF(2)-linear in
+    // single-Pauli generators, so every component's flip set is the
+    // symmetric difference of its generators' sensitivity sets.
+    std::vector<Component> components;
+    std::vector<uint32_t> comp_dets;
+    for (const SiteSensitivity &snap : sites) {
+        enumerateComponents(instrs[snap.site], components);
+        auto setsFor = [&](uint32_t q)
+            -> const std::tuple<uint32_t, std::vector<uint32_t>,
+                                std::vector<uint32_t>> & {
+            for (const auto &entry : snap.per_qubit)
+                if (std::get<0>(entry) == q)
+                    return entry;
+            SURF_ASSERT(false, "noise component targets a foreign qubit");
+            return snap.per_qubit.front();
+        };
+        for (const Component &comp : components) {
+            comp_dets.clear();
+            for (const auto &[q, fx, fz] : comp.paulis) {
+                const auto &[sq, sx_set, sz_set] = setsFor(q);
+                if (fx)
+                    xorMerge(comp_dets, sx_set);
+                if (fz)
+                    xorMerge(comp_dets, sz_set);
             }
-            // XOR-reduce duplicate detector flips.
-            std::sort(det_flips.begin(), det_flips.end());
-            std::vector<uint32_t> reduced;
-            for (size_t k = 0; k < det_flips.size();) {
-                size_t j = k;
-                while (j < det_flips.size() && det_flips[j] == det_flips[k])
-                    ++j;
-                if ((j - k) % 2 == 1)
-                    reduced.push_back(det_flips[k]);
-                k = j;
+            bool obs_flip = false;
+            if (!comp_dets.empty() && comp_dets.back() == obs_id) {
+                obs_flip = true;
+                comp_dets.pop_back();
             }
-            if (reduced.empty() && !obs_flip)
+            if (comp_dets.empty() && !obs_flip)
                 continue;
-            auto key = std::make_pair(std::move(reduced), obs_flip);
+            auto key = std::make_pair(comp_dets, obs_flip);
             double &slot = merged[key];
             slot = slot + comp.p - 2 * slot * comp.p;
         }

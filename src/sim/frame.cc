@@ -1,17 +1,54 @@
 #include "sim/frame.hh"
 
+#include <numeric>
+
 #include "util/logging.hh"
 
 namespace surf {
 
 FrameSimulator::FrameSimulator(const Circuit &circuit, size_t shots,
                                uint64_t seed)
-    : shots_(shots), rng_(seed)
+    : circuit_(&circuit), shots_(shots), rng_(seed)
 {
     xf_.assign(circuit.numQubits(), BitVec(shots));
     zf_.assign(circuit.numQubits(), BitVec(shots));
     records_.reserve(circuit.numMeasurements());
-    run(circuit);
+    detectors_.reserve(circuit.numDetectors());
+    run();
+}
+
+void
+FrameSimulator::reset(uint64_t seed)
+{
+    rng_.reseed(seed);
+    for (auto &plane : xf_)
+        plane.clear();
+    for (auto &plane : zf_)
+        plane.clear();
+    for (auto &obs : observables_)
+        obs.clear();
+    num_records_ = 0;
+    num_detectors_ = 0;
+}
+
+BitVec &
+FrameSimulator::appendRecord(const BitVec &bits)
+{
+    if (num_records_ < records_.size())
+        records_[num_records_] = bits; // copy into the retained buffer
+    else
+        records_.push_back(bits);
+    return records_[num_records_++];
+}
+
+BitVec &
+FrameSimulator::appendDetector()
+{
+    if (num_detectors_ < detectors_.size())
+        detectors_[num_detectors_].clear();
+    else
+        detectors_.emplace_back(shots_);
+    return detectors_[num_detectors_++];
 }
 
 void
@@ -29,9 +66,9 @@ FrameSimulator::flipRandom(BitVec &plane, double p)
 }
 
 void
-FrameSimulator::run(const Circuit &circuit)
+FrameSimulator::run()
 {
-    for (const auto &ins : circuit.instructions()) {
+    for (const auto &ins : circuit_->instructions()) {
         switch (ins.op) {
           case Op::ResetZ:
           case Op::ResetX:
@@ -42,13 +79,13 @@ FrameSimulator::run(const Circuit &circuit)
             break;
           case Op::MeasureZ:
             for (uint32_t q : ins.targets) {
-                records_.push_back(xf_[q]);
+                appendRecord(xf_[q]);
                 zf_[q].clear(); // post-collapse phase frame is trivial
             }
             break;
           case Op::MeasureX:
             for (uint32_t q : ins.targets) {
-                records_.push_back(zf_[q]);
+                appendRecord(zf_[q]);
                 xf_[q].clear();
             }
             break;
@@ -106,10 +143,9 @@ FrameSimulator::run(const Circuit &circuit)
             }
             break;
           case Op::Detector: {
-            BitVec bits(shots_);
+            BitVec &bits = appendDetector();
             for (uint32_t m : ins.targets)
                 bits ^= records_[m];
-            detectors_.push_back(std::move(bits));
             break;
           }
           case Op::ObservableInclude: {
@@ -129,9 +165,39 @@ std::vector<uint32_t>
 FrameSimulator::firedDetectors(size_t shot) const
 {
     std::vector<uint32_t> out;
-    for (size_t d = 0; d < detectors_.size(); ++d)
+    for (size_t d = 0; d < num_detectors_; ++d)
         if (detectors_[d].get(shot))
             out.push_back(static_cast<uint32_t>(d));
+    return out;
+}
+
+void
+FrameSimulator::sparseFiredDetectors(SparseSyndromes &out) const
+{
+    // Pass 1: per-shot fired counts. Detector planes are extremely sparse
+    // at realistic noise, so almost every 64-shot word is zero and the
+    // inner loop never runs.
+    out.offsets.assign(shots_ + 1, 0);
+    for (size_t d = 0; d < num_detectors_; ++d)
+        detectors_[d].forEachSetBit([&](size_t s) { ++out.offsets[s + 1]; });
+    std::partial_sum(out.offsets.begin(), out.offsets.end(),
+                     out.offsets.begin());
+
+    // Pass 2: fill. Detectors are visited in ascending id order, so each
+    // shot's slice comes out sorted — same order firedDetectors() yields.
+    out.flat.resize(out.offsets[shots_]);
+    out.cursor_.assign(out.offsets.begin(), out.offsets.end() - 1);
+    for (size_t d = 0; d < num_detectors_; ++d)
+        detectors_[d].forEachSetBit([&](size_t s) {
+            out.flat[out.cursor_[s]++] = static_cast<uint32_t>(d);
+        });
+}
+
+SparseSyndromes
+FrameSimulator::sparseFiredDetectors() const
+{
+    SparseSyndromes out;
+    sparseFiredDetectors(out);
     return out;
 }
 

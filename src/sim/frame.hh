@@ -20,7 +20,43 @@
 
 namespace surf {
 
-/** One batch of frame-simulated shots. */
+/**
+ * Per-shot sparse syndromes for one sampled batch, in CSR layout: the
+ * fired detector ids of shot s are flat[offsets[s] .. offsets[s+1])
+ * in ascending order. Reused across batches to stay allocation-free.
+ */
+struct SparseSyndromes
+{
+    std::vector<uint32_t> flat;    ///< fired detector ids, shot-major
+    std::vector<uint32_t> offsets; ///< per-shot slices; size shots + 1
+
+    size_t shots() const { return offsets.empty() ? 0 : offsets.size() - 1; }
+    const uint32_t *data(size_t shot) const
+    {
+        return flat.data() + offsets[shot];
+    }
+    size_t count(size_t shot) const
+    {
+        return offsets[shot + 1] - offsets[shot];
+    }
+    /** One shot's ids as a vector (convenience for tests/compat). */
+    std::vector<uint32_t> shotVector(size_t shot) const
+    {
+        return {data(shot), data(shot) + count(shot)};
+    }
+
+  private:
+    friend class FrameSimulator;
+    std::vector<uint32_t> cursor_; ///< fill scratch (pass 2 of transpose)
+};
+
+/**
+ * One batch of frame-simulated shots. Reusable: construct once per
+ * circuit/batch-size, then `reset(seed)` + `run()` re-samples into the
+ * same frame/record/detector buffers without reallocating.
+ *
+ * The referenced circuit must outlive the simulator.
+ */
 class FrameSimulator
 {
   public:
@@ -30,8 +66,17 @@ class FrameSimulator
      */
     FrameSimulator(const Circuit &circuit, size_t shots, uint64_t seed);
 
+    /**
+     * Rewind to a freshly-seeded state, keeping every buffer allocation.
+     * Follow with `run()` to sample the next batch.
+     */
+    void reset(uint64_t seed);
+
+    /** Propagate the circuit, filling detector/observable samples. */
+    void run();
+
     size_t shots() const { return shots_; }
-    size_t numDetectors() const { return detectors_.size(); }
+    size_t numDetectors() const { return num_detectors_; }
 
     /** Detector bits across shots (bit s = detector fired in shot s). */
     const BitVec &detectorBits(size_t det) const { return detectors_[det]; }
@@ -41,19 +86,35 @@ class FrameSimulator
         return observables_[obs];
     }
 
-    /** Indices of detectors that fired in one shot. */
+    /** Indices of detectors that fired in one shot (O(numDetectors)). */
     std::vector<uint32_t> firedDetectors(size_t shot) const;
 
-  private:
-    void run(const Circuit &circuit);
-    void flipRandom(BitVec &plane, double p);
+    /**
+     * Transpose the whole batch's detector bits into per-shot sparse
+     * syndrome lists. Scans 64-shot words and skips zero words, so the
+     * cost is O(detectors * words + fired) instead of the per-shot
+     * firedDetectors() total of O(detectors * shots). `out` buffers are
+     * reused across calls.
+     */
+    void sparseFiredDetectors(SparseSyndromes &out) const;
+    SparseSyndromes sparseFiredDetectors() const;
 
+  private:
+    void flipRandom(BitVec &plane, double p);
+    /** Next reusable record slot (copy-assigned from a frame plane). */
+    BitVec &appendRecord(const BitVec &bits);
+    /** Next reusable detector slot, cleared. */
+    BitVec &appendDetector();
+
+    const Circuit *circuit_;
     size_t shots_;
     Rng rng_;
-    std::vector<BitVec> xf_, zf_;          // frames per qubit
-    std::vector<BitVec> records_;          // per measurement
-    std::vector<BitVec> detectors_;        // per detector
-    std::vector<BitVec> observables_;      // per observable
+    std::vector<BitVec> xf_, zf_;   // frames per qubit
+    std::vector<BitVec> records_;   // per measurement (slots reused)
+    std::vector<BitVec> detectors_; // per detector (slots reused)
+    std::vector<BitVec> observables_;
+    size_t num_records_ = 0;
+    size_t num_detectors_ = 0;
 };
 
 } // namespace surf

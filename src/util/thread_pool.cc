@@ -1,0 +1,98 @@
+#include "util/thread_pool.hh"
+
+namespace surf {
+
+size_t
+ThreadPool::hardwareThreads()
+{
+    const unsigned n = std::thread::hardware_concurrency();
+    return n ? n : 1;
+}
+
+ThreadPool::ThreadPool(size_t workers)
+{
+    if (workers == 0)
+        workers = hardwareThreads();
+    threads_.reserve(workers - 1);
+    for (size_t w = 1; w < workers; ++w)
+        threads_.emplace_back([this, w] { workerLoop(w); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lk(mutex_);
+        stop_ = true;
+    }
+    wake_.notify_all();
+    for (auto &t : threads_)
+        t.join();
+}
+
+void
+ThreadPool::drain(const TaskFn &fn, size_t num_tasks, size_t worker_index)
+{
+    for (;;) {
+        const size_t t = next_task_.fetch_add(1, std::memory_order_relaxed);
+        if (t >= num_tasks)
+            return;
+        fn(t, worker_index);
+    }
+}
+
+void
+ThreadPool::workerLoop(size_t worker_index)
+{
+    uint64_t seen = 0;
+    for (;;) {
+        const TaskFn *job = nullptr;
+        size_t tasks = 0;
+        {
+            std::unique_lock<std::mutex> lk(mutex_);
+            wake_.wait(lk, [&] { return stop_ || epoch_ != seen; });
+            if (stop_)
+                return;
+            seen = epoch_;
+            job = job_;
+            tasks = job_tasks_;
+            ++draining_; // counted before the lock drops: parallelFor's
+                         // completion wait can't slip past a live worker
+        }
+        if (job)
+            drain(*job, tasks, worker_index);
+        {
+            std::lock_guard<std::mutex> lk(mutex_);
+            if (--draining_ == 0)
+                done_.notify_all();
+        }
+    }
+}
+
+void
+ThreadPool::parallelFor(size_t num_tasks, const TaskFn &fn)
+{
+    if (num_tasks == 0)
+        return;
+    if (threads_.empty() || num_tasks == 1) {
+        for (size_t t = 0; t < num_tasks; ++t)
+            fn(t, 0);
+        return;
+    }
+    {
+        std::lock_guard<std::mutex> lk(mutex_);
+        job_ = &fn;
+        job_tasks_ = num_tasks;
+        next_task_.store(0, std::memory_order_relaxed);
+        ++epoch_;
+    }
+    wake_.notify_all();
+    drain(fn, num_tasks, 0); // the caller is worker 0
+    // All tasks are claimed once the caller's drain returns; wait for the
+    // workers still finishing their claimed tasks. A worker that wakes
+    // after this returns finds the counter exhausted and claims nothing.
+    std::unique_lock<std::mutex> lk(mutex_);
+    done_.wait(lk, [&] { return draining_ == 0; });
+    job_ = nullptr;
+}
+
+} // namespace surf

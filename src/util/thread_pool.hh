@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Minimal persistent worker pool for sharded Monte-Carlo decoding.
+ *
+ * Workers are spawned once and reused across parallelFor() calls, so a
+ * batch loop pays no thread-creation cost in steady state. Tasks are
+ * pulled from a shared atomic counter (dynamic load balancing); every
+ * callback receives the executing worker's index so callers can keep
+ * per-worker scratch state without locking. The calling thread
+ * participates as worker 0, which makes a single-worker pool run inline
+ * with zero synchronisation overhead.
+ */
+
+#ifndef SURF_UTIL_THREAD_POOL_HH
+#define SURF_UTIL_THREAD_POOL_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace surf {
+
+/** Persistent thread pool with indexed workers. */
+class ThreadPool
+{
+  public:
+    /** Task body: fn(task_index, worker_index), worker_index < size(). */
+    using TaskFn = std::function<void(size_t, size_t)>;
+
+    /**
+     * @param workers total logical workers including the caller thread;
+     *                0 picks hardwareThreads()
+     */
+    explicit ThreadPool(size_t workers = 0);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Logical worker count (background threads + the caller). */
+    size_t size() const { return threads_.size() + 1; }
+
+    /**
+     * Run fn(t, w) for every task t in [0, num_tasks); blocks until all
+     * tasks finished. Tasks are claimed dynamically, so per-task cost may
+     * vary freely; determinism is the caller's job (e.g. per-worker
+     * accumulators merged in a fixed order).
+     */
+    void parallelFor(size_t num_tasks, const TaskFn &fn);
+
+    /** std::thread::hardware_concurrency with a sane floor of 1. */
+    static size_t hardwareThreads();
+
+  private:
+    void workerLoop(size_t worker_index);
+    /** Claim-and-run tasks until the shared counter is exhausted. */
+    void drain(const TaskFn &fn, size_t num_tasks, size_t worker_index);
+
+    std::vector<std::thread> threads_;
+
+    std::mutex mutex_;
+    std::condition_variable wake_;
+    std::condition_variable done_;
+    const TaskFn *job_ = nullptr; ///< current job (under mutex_)
+    size_t job_tasks_ = 0;        ///< its task count (under mutex_)
+    uint64_t epoch_ = 0;          ///< bumped per job (under mutex_)
+    size_t draining_ = 0;         ///< workers inside drain (under mutex_)
+    bool stop_ = false;
+    std::atomic<size_t> next_task_{0};
+};
+
+} // namespace surf
+
+#endif // SURF_UTIL_THREAD_POOL_HH

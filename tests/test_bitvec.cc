@@ -83,6 +83,22 @@ TEST(BitVec, OnesPositions)
     EXPECT_EQ(ones[1], 65u);
 }
 
+TEST(BitVec, ForEachSetBitMatchesOnesPositions)
+{
+    Rng rng(99);
+    for (size_t nbits : {1u, 63u, 64u, 65u, 300u}) {
+        BitVec v(nbits);
+        for (size_t i = 0; i < nbits; ++i)
+            v.set(i, rng.bernoulli(0.2));
+        std::vector<size_t> seen;
+        v.forEachSetBit([&](size_t i) { seen.push_back(i); });
+        EXPECT_EQ(seen, v.onesPositions()) << nbits << " bits";
+        EXPECT_EQ(seen.size(), v.popcount());
+    }
+    BitVec empty(128);
+    empty.forEachSetBit([](size_t) { FAIL() << "no bits are set"; });
+}
+
 TEST(BitVec, ClearResets)
 {
     BitVec v(64);

@@ -1,0 +1,251 @@
+/**
+ * @file
+ * Tests for the batched sampling + parallel decoding pipeline: thread-pool
+ * correctness, thread-count invariance of runMemoryExperiment, agreement
+ * of the batched sparse syndrome transpose with the per-shot scan, frame
+ * simulator buffer-reuse determinism, and MWPM/union-find agreement on
+ * low-weight syndromes.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+
+#include "decode/memory_experiment.hh"
+#include "decode/mwpm.hh"
+#include "decode/union_find.hh"
+#include "lattice/rotated.hh"
+#include "sim/dem.hh"
+#include "sim/frame.hh"
+#include "util/rng.hh"
+#include "util/thread_pool.hh"
+
+namespace surf {
+namespace {
+
+TEST(ThreadPool, RunsEveryTaskExactlyOnce)
+{
+    for (size_t workers : {1u, 2u, 5u}) {
+        ThreadPool pool(workers);
+        EXPECT_EQ(pool.size(), workers);
+        std::vector<std::atomic<int>> hits(257);
+        for (auto &h : hits)
+            h = 0;
+        pool.parallelFor(hits.size(), [&](size_t t, size_t w) {
+            ASSERT_LT(w, pool.size());
+            ++hits[t];
+        });
+        for (const auto &h : hits)
+            EXPECT_EQ(h, 1);
+    }
+}
+
+TEST(ThreadPool, ReusableAcrossJobs)
+{
+    ThreadPool pool(3);
+    std::atomic<uint64_t> total{0};
+    for (int job = 0; job < 50; ++job)
+        pool.parallelFor(11, [&](size_t t, size_t) { total += t; });
+    EXPECT_EQ(total, 50u * (11u * 10u / 2u));
+}
+
+TEST(FrameSim, ResetRunReproducesFreshSimulator)
+{
+    MemorySpec spec;
+    spec.rounds = 3;
+    NoiseParams noise;
+    noise.p = 5e-3;
+    const BuiltCircuit built = buildMemoryCircuit(squarePatch(3), spec, noise);
+
+    // One reused simulator stepping through seeds must equal a fresh
+    // simulator per seed, bit for bit.
+    FrameSimulator reused(built.circuit, 512, 100);
+    for (uint64_t seed : {100u, 101u, 777u}) {
+        if (seed != 100) {
+            reused.reset(seed);
+            reused.run();
+        }
+        FrameSimulator fresh(built.circuit, 512, seed);
+        ASSERT_EQ(reused.numDetectors(), fresh.numDetectors());
+        for (size_t d = 0; d < fresh.numDetectors(); ++d)
+            ASSERT_EQ(reused.detectorBits(d), fresh.detectorBits(d))
+                << "seed " << seed << " detector " << d;
+        ASSERT_EQ(reused.observableBits(0), fresh.observableBits(0));
+    }
+}
+
+TEST(FrameSim, SparseFiredDetectorsMatchesPerShotScan)
+{
+    // Random circuits: random Cliffords + noise + detectors over random
+    // measurement subsets, exercising irregular detector counts.
+    Rng rng(42);
+    for (int trial = 0; trial < 8; ++trial) {
+        Circuit ckt;
+        const uint32_t nq = 4 + static_cast<uint32_t>(rng.below(5));
+        std::vector<uint32_t> all;
+        for (uint32_t q = 0; q < nq; ++q)
+            all.push_back(q);
+        ckt.append(Op::ResetZ, all);
+        size_t n_meas = 0;
+        for (int layer = 0; layer < 6; ++layer) {
+            ckt.append(Op::H, {static_cast<uint32_t>(rng.below(nq))});
+            const uint32_t a = static_cast<uint32_t>(rng.below(nq));
+            uint32_t b = static_cast<uint32_t>(rng.below(nq));
+            if (b == a)
+                b = (b + 1) % nq;
+            ckt.append(Op::CX, {a, b});
+            ckt.append(Op::XError, all, 0.05);
+            ckt.append(Op::ZError, all, 0.03);
+            ckt.append(Op::MeasureZ, {a});
+            ++n_meas;
+            if (n_meas >= 2 && rng.bernoulli(0.7)) {
+                const auto m1 = static_cast<uint32_t>(rng.below(n_meas));
+                const auto m2 = static_cast<uint32_t>(rng.below(n_meas));
+                ckt.appendDetector(m1 == m2 ? std::vector<uint32_t>{m1}
+                                            : std::vector<uint32_t>{m1, m2},
+                                   PauliType::Z);
+            }
+        }
+
+        // 130 shots spans multiple 64-shot words plus a partial tail word.
+        FrameSimulator sim(ckt, 130, 7 + static_cast<uint64_t>(trial));
+        const SparseSyndromes sparse = sim.sparseFiredDetectors();
+        ASSERT_EQ(sparse.shots(), sim.shots());
+        for (size_t s = 0; s < sim.shots(); ++s)
+            ASSERT_EQ(sparse.shotVector(s), sim.firedDetectors(s))
+                << "trial " << trial << " shot " << s;
+    }
+}
+
+TEST(FrameSim, SparseFiredDetectorsMatchesOnMemoryCircuit)
+{
+    MemorySpec spec;
+    spec.rounds = 4;
+    NoiseParams noise;
+    noise.p = 4e-3;
+    const BuiltCircuit built = buildMemoryCircuit(squarePatch(5), spec, noise);
+    FrameSimulator sim(built.circuit, 1000, 99);
+    SparseSyndromes sparse;
+    sim.sparseFiredDetectors(sparse);
+    for (size_t s = 0; s < sim.shots(); ++s)
+        ASSERT_EQ(sparse.shotVector(s), sim.firedDetectors(s)) << "shot " << s;
+}
+
+MemoryExperimentConfig
+pipelineConfig()
+{
+    MemoryExperimentConfig cfg;
+    cfg.spec.rounds = 3;
+    cfg.noise.p = 4e-3;
+    cfg.maxShots = 6000;
+    cfg.batchShots = 1024; // several full batches plus a partial tail
+    cfg.targetFailures = 1u << 30;
+    cfg.seed = 2024;
+    return cfg;
+}
+
+TEST(Pipeline, ThreadCountDoesNotChangeResults)
+{
+    const CodePatch p = squarePatch(3);
+    auto cfg = pipelineConfig();
+    cfg.threads = 1;
+    const auto serial = runMemoryExperiment(p, cfg);
+    EXPECT_EQ(serial.shots, cfg.maxShots);
+    for (size_t threads : {2u, 8u}) {
+        cfg.threads = threads;
+        const auto parallel = runMemoryExperiment(p, cfg);
+        EXPECT_EQ(parallel.shots, serial.shots) << threads << " threads";
+        EXPECT_EQ(parallel.failures, serial.failures) << threads
+                                                      << " threads";
+        EXPECT_EQ(parallel.pShot, serial.pShot);
+    }
+}
+
+TEST(Pipeline, ThreadCountInvariantWithEarlyStopAndAutoDecoder)
+{
+    // Early stop interacts with batching: the failure tally that gates
+    // the next batch must match at every thread count.
+    const CodePatch p = squarePatch(3);
+    MemoryExperimentConfig cfg;
+    cfg.spec.rounds = 2;
+    cfg.noise.p = 2e-2;
+    cfg.maxShots = 50000;
+    cfg.targetFailures = 25;
+    cfg.batchShots = 512;
+    cfg.decoder = DecoderKind::Auto;
+    cfg.mwpmDefectCap = 6; // force a mix of MWPM and union-find shots
+    cfg.threads = 1;
+    const auto serial = runMemoryExperiment(p, cfg);
+    EXPECT_GE(serial.failures, 25u);
+    for (size_t threads : {2u, 8u}) {
+        cfg.threads = threads;
+        const auto parallel = runMemoryExperiment(p, cfg);
+        EXPECT_EQ(parallel.shots, serial.shots);
+        EXPECT_EQ(parallel.failures, serial.failures);
+    }
+}
+
+TEST(Decoders, MwpmAndUnionFindAgreeOnLowWeightSyndromes)
+{
+    // Every weight-1 and weight-2 syndrome of a d=3 memory must decode
+    // identically under MWPM and union-find: low-weight defects leave no
+    // room for the approximate decoder to pick a homologically different
+    // correction unless the syndrome is genuinely ambiguous — and the
+    // d=3 graph's weighted paths break those ties the same way.
+    MemorySpec spec;
+    spec.rounds = 3;
+    NoiseParams noise;
+    noise.p = 1e-3;
+    const BuiltCircuit built = buildMemoryCircuit(squarePatch(3), spec, noise);
+    const auto dem = buildDem(built.circuit, PauliType::Z);
+    const uint8_t tag = 1;
+    const MwpmDecoder mwpm(dem, tag);
+    const UnionFindDecoder uf(dem, tag);
+    MwpmScratch ms;
+    UfScratch us;
+
+    std::vector<uint32_t> tagged;
+    for (uint32_t d = 0; d < dem.numDetectors; ++d)
+        if (dem.detectorTag[d] == tag)
+            tagged.push_back(d);
+    ASSERT_GT(tagged.size(), 4u);
+
+    size_t checked = 0;
+    for (size_t i = 0; i < tagged.size(); ++i) {
+        const uint32_t fired1[1] = {tagged[i]};
+        EXPECT_EQ(mwpm.decode(fired1, 1, ms), uf.decode(fired1, 1, us))
+            << "single defect " << tagged[i];
+        for (size_t j = i + 1; j < tagged.size(); ++j) {
+            const uint32_t fired2[2] = {tagged[i], tagged[j]};
+            EXPECT_EQ(mwpm.decode(fired2, 2, ms), uf.decode(fired2, 2, us))
+                << "defect pair " << tagged[i] << "," << tagged[j];
+            ++checked;
+        }
+    }
+    EXPECT_GT(checked, 100u);
+}
+
+TEST(Decoders, ScratchReuseMatchesThrowawayScratch)
+{
+    MemorySpec spec;
+    spec.rounds = 3;
+    NoiseParams noise;
+    noise.p = 8e-3;
+    const BuiltCircuit built = buildMemoryCircuit(squarePatch(3), spec, noise);
+    const auto dem = buildDem(built.circuit, PauliType::Z);
+    const MwpmDecoder mwpm(dem, 1);
+    const UnionFindDecoder uf(dem, 1);
+    FrameSimulator sim(built.circuit, 600, 5);
+    MwpmScratch ms;
+    UfScratch us;
+    for (size_t s = 0; s < sim.shots(); ++s) {
+        const auto fired = sim.firedDetectors(s);
+        EXPECT_EQ(mwpm.decode(fired.data(), fired.size(), ms),
+                  mwpm.decode(fired));
+        EXPECT_EQ(uf.decode(fired.data(), fired.size(), us), uf.decode(fired));
+    }
+}
+
+} // namespace
+} // namespace surf
