@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Scenario-engine throughput bench on the cosmic-ray workload: many
+ * sampled burst timelines, strategy-reactive epoch planning, stitched
+ * simulation and per-epoch decoding — once with the DeformedCodeCache
+ * disabled (every epoch rebuilds its DEM + decoder graphs) and once with
+ * it enabled (recurring deformed shapes are lookups). Reports epochs/sec
+ * for both modes, the cache hit rate, and the end-to-end logical error,
+ * into BENCH_scenario.json.
+ *
+ * Flags: --scale=S (Monte-Carlo budget), --d=N, --timelines=N, --json=DIR
+ */
+
+#include <chrono>
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "scenario/scenario_experiment.hh"
+
+using namespace surf;
+using namespace surf::benchutil;
+
+namespace {
+
+ScenarioConfig
+workload(int d, int timelines)
+{
+    ScenarioConfig cfg;
+    cfg.timeline.strategy = Strategy::SurfDeformer;
+    cfg.timeline.d = d;
+    cfg.timeline.deltaD = 2;
+    cfg.timeline.horizonRounds = 160;
+    cfg.timeline.windowRounds = 20;
+    // Quantized epoch lengths: quiet stretches of different timelines
+    // become cache-equal 20-round segments.
+    cfg.timeline.maxEpochRounds = 20;
+    // Scaled cosmic-ray model: bursts persist ~2 windows and strike often
+    // enough that most timelines deform at least once.
+    cfg.defectModel.durationSec = 40e-6;
+    cfg.defectModel.regionDiameter = 2;
+    cfg.eventRateScale = 20000.0;
+    cfg.numTimelines = timelines;
+    cfg.noise.p = 2e-3;
+    cfg.maxShotsPerTimeline = 16;
+    cfg.batchShots = 16;
+    cfg.seed = 20240731;
+    return cfg;
+}
+
+struct Timed
+{
+    ScenarioResult result;
+    double seconds = 0.0;
+};
+
+Timed
+run(const ScenarioConfig &cfg)
+{
+    Timed out;
+    const auto t0 = std::chrono::steady_clock::now();
+    out.result = runScenarioExperiment(cfg);
+    out.seconds = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - t0)
+                      .count();
+    return out;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const double s = scale(argc, argv);
+    const int d = static_cast<int>(flagValue(argc, argv, "d", 7));
+    const int timelines = std::max(
+        2, static_cast<int>(flagValue(argc, argv, "timelines", 12) * s));
+    JsonReport report(argc, argv, "scenario");
+
+    header("Scenario engine: cosmic-ray timelines, cached vs uncached");
+    std::printf("d=%d, %d timelines x %lu shots, horizon %lu rounds\n\n", d,
+                timelines,
+                static_cast<unsigned long>(
+                    workload(d, timelines).maxShotsPerTimeline),
+                static_cast<unsigned long>(
+                    workload(d, timelines).timeline.horizonRounds));
+
+    ScenarioConfig cfg = workload(d, timelines);
+    cfg.useCache = false;
+    const Timed uncached = run(cfg);
+    const double uncached_eps = uncached.result.totalEpochs /
+                                std::max(1e-9, uncached.seconds);
+    std::printf("uncached:    %5lu epochs in %6.2f s  -> %7.1f epochs/s\n",
+                static_cast<unsigned long>(uncached.result.totalEpochs),
+                uncached.seconds, uncached_eps);
+
+    // The cache is long-lived by design (ScenarioConfig::cache): sweeps
+    // share it across strategies, distances and repetitions. Measure the
+    // first (cold) pass and a second pass against the populated cache —
+    // the steady state of any real sweep.
+    DeformedCodeCache shared_cache;
+    cfg.useCache = true;
+    cfg.cache = &shared_cache;
+    const Timed cold = run(cfg);
+    const uint64_t cold_lookups = cold.result.cacheHits +
+                                  cold.result.cacheMisses;
+    const double hit_rate =
+        cold_lookups
+            ? static_cast<double>(cold.result.cacheHits) / cold_lookups
+            : 0.0;
+    std::printf("cold cache:  %5lu epochs in %6.2f s  -> %7.1f epochs/s  "
+                "(hit rate %.0f%%, %lu/%lu)\n",
+                static_cast<unsigned long>(cold.result.totalEpochs),
+                cold.seconds,
+                cold.result.totalEpochs / std::max(1e-9, cold.seconds),
+                100.0 * hit_rate,
+                static_cast<unsigned long>(cold.result.cacheHits),
+                static_cast<unsigned long>(cold_lookups));
+    const Timed cached = run(cfg);
+    const double cached_eps =
+        cached.result.totalEpochs / std::max(1e-9, cached.seconds);
+    std::printf("warm cache:  %5lu epochs in %6.2f s  -> %7.1f epochs/s  "
+                "(hit rate %.0f%%)\n",
+                static_cast<unsigned long>(cached.result.totalEpochs),
+                cached.seconds, cached_eps,
+                100.0 * cached.result.cacheHits /
+                    std::max<uint64_t>(1, cached.result.cacheHits +
+                                              cached.result.cacheMisses));
+    std::printf("\nspeedup %.1fx; identical results: %s (%lu failures / "
+                "%lu shots, p_round %.3e)\n",
+                cached_eps / std::max(1e-9, uncached_eps),
+                cached.result.failures == uncached.result.failures
+                    ? "yes"
+                    : "NO (BUG)",
+                static_cast<unsigned long>(cached.result.failures),
+                static_cast<unsigned long>(cached.result.shots),
+                cached.result.pRound);
+
+    report.metric("epochs_per_sec_uncached", uncached_eps);
+    report.metric("epochs_per_sec_cached", cached_eps);
+    report.metric("epochs_per_sec_cold_cache",
+                  cold.result.totalEpochs / std::max(1e-9, cold.seconds));
+    report.metric("cache_speedup", cached_eps / std::max(1e-9, uncached_eps));
+    report.metric("cache_hit_rate", hit_rate);
+    report.metric("total_epochs", static_cast<double>(
+                                      cached.result.totalEpochs));
+    report.metric("dead_timelines", static_cast<double>(
+                                        cached.result.deadTimelines));
+    report.metric("p_round", cached.result.pRound);
+    report.metric("results_identical",
+                  cached.result.failures == uncached.result.failures ? 1.0
+                                                                     : 0.0);
+    return 0;
+}

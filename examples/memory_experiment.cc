@@ -2,9 +2,11 @@
  * @file
  * Full QEC pipeline example: run Monte-Carlo memory experiments on a
  * pristine patch, an untreated defective patch, and a Surf-Deformer
- * deformed patch, and compare logical error rates. Pass a thread count
- * as the first argument to control the decode workers (default: all
- * hardware threads); the results are identical for any thread count.
+ * deformed patch, and compare logical error rates. The results are
+ * identical for any decode thread count.
+ *
+ * Usage: example_memory_experiment [threads] [d] [rounds] [seed]
+ * (defaults: threads=hardware, d=5, rounds=d, seed=0x5eed)
  */
 
 #include <chrono>
@@ -21,29 +23,32 @@ using namespace surf;
 int
 main(int argc, char **argv)
 {
-    const int d = 5;
+    const int d = argc > 2 ? std::max(3, std::atoi(argv[2])) : 5;
     const std::set<Coord> defects{{5, 5}, {4, 4}};
 
     MemoryExperimentConfig cfg;
     cfg.spec.basis = PauliType::Z;
-    cfg.spec.rounds = d;
+    cfg.spec.rounds = argc > 3 ? std::max(1, std::atoi(argv[3])) : d;
     cfg.noise.p = 2e-3;
     cfg.maxShots = 20000;
     cfg.targetFailures = 1u << 30;
     cfg.threads = argc > 1 ? static_cast<size_t>(std::max(0, std::atoi(argv[1]))) : 0;
+    if (argc > 4)
+        cfg.seed = static_cast<uint64_t>(std::atoll(argv[4]));
 
     const size_t threads =
         cfg.threads ? cfg.threads : ThreadPool::hardwareThreads();
     std::printf("memory-Z, %d rounds, p = %.0e, MWPM decoding, %lu "
                 "shots per configuration, %zu decode thread%s\n\n",
-                d, cfg.noise.p, static_cast<unsigned long>(cfg.maxShots),
-                threads, threads == 1 ? "" : "s");
+                cfg.spec.rounds, cfg.noise.p,
+                static_cast<unsigned long>(cfg.maxShots), threads,
+                threads == 1 ? "" : "s");
     const auto t_start = std::chrono::steady_clock::now();
 
-    // 1. Pristine d=5 code.
+    // 1. Pristine distance-d code.
     const auto pristine = runMemoryExperiment(squarePatch(d), cfg);
-    std::printf("pristine d=5:            p_L/round = %.3e (+/- %.1e)\n",
-                pristine.pRound, pristine.se);
+    std::printf("pristine d=%-2d:           p_L/round = %.3e (+/- %.1e)\n",
+                d, pristine.pRound, pristine.se);
 
     // 2. Same code with a defective region left untreated (50%% rates).
     auto bad_cfg = cfg;

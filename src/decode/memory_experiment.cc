@@ -1,111 +1,54 @@
 #include "decode/memory_experiment.hh"
 
-#include <algorithm>
-#include <memory>
-
-#include "decode/mwpm.hh"
-#include "decode/union_find.hh"
-#include "sim/dem.hh"
-#include "sim/frame.hh"
+#include "scenario/patch_signature.hh"
+#include "scenario/scenario_experiment.hh"
 #include "util/stats.hh"
-#include "util/thread_pool.hh"
 
 namespace surf {
 
 MemoryExperimentResult
 runMemoryExperiment(const CodePatch &patch, const MemoryExperimentConfig &cfg)
 {
+    // A memory experiment is the trivial scenario: one epoch holding one
+    // frozen patch for the whole horizon. Running it through the scenario
+    // engine keeps a single sampling/decoding pipeline in the repository;
+    // the one-epoch path is bit-identical to the historical implementation
+    // (same circuit, DEM, seed schedule, sharding and early stop).
+    ScenarioConfig sc;
+    sc.timeline.d = 0; // unused: the plan is supplied explicitly
+    sc.timeline.horizonRounds = static_cast<uint64_t>(cfg.spec.rounds);
+    sc.basis = cfg.spec.basis;
+    sc.noise = cfg.noise;
+    sc.decoder = cfg.decoder;
+    sc.mwpmDefectCap = cfg.mwpmDefectCap;
+    sc.maxShotsPerTimeline = cfg.maxShots;
+    sc.targetFailures = cfg.targetFailures;
+    sc.batchShots = cfg.batchShots;
+    sc.threads = cfg.threads;
+    sc.decoderKnowsDefects = cfg.decoderKnowsDefects;
+    sc.seed = cfg.seed;
+
+    ScenarioPlan plan;
+    Epoch epoch;
+    epoch.startRound = 0;
+    epoch.rounds = static_cast<uint64_t>(cfg.spec.rounds);
+    epoch.deformed.patch = patch;
+    epoch.residualDefects = cfg.noise.defectiveSites;
+    epoch.activeSites = cfg.noise.defectiveSites;
+    epoch.structSig = patchSignature(patch);
+    plan.epochs.push_back(std::move(epoch));
+
+    DeformedCodeCache cache;
+    const TimelineStats tl =
+        runPlannedTimeline(plan, sc, cache, cfg.seed, 0);
+
     MemoryExperimentResult out;
     out.rounds = static_cast<size_t>(cfg.spec.rounds);
-
-    const BuiltCircuit built = buildMemoryCircuit(patch, cfg.spec, cfg.noise);
-    // The decoder's error model: defect-unaware unless configured
-    // otherwise (the circuit structure is identical, only rates differ).
-    // When the views coincide the sampling circuit is reused directly.
-    NoiseParams decoder_noise = cfg.noise;
-    if (!cfg.decoderKnowsDefects)
-        decoder_noise.defectiveSites.clear();
-    const bool same_view =
-        cfg.decoderKnowsDefects || cfg.noise.defectiveSites.empty();
-    const BuiltCircuit decoder_view =
-        same_view ? BuiltCircuit{}
-                  : buildMemoryCircuit(patch, cfg.spec, decoder_noise);
-    const DetectorErrorModel dem = buildDem(
-        same_view ? built.circuit : decoder_view.circuit, built.obsBasis);
-    out.numDetectors = dem.numDetectors;
-    out.decomposedHyperedges = dem.decomposedComponents;
-    out.undetectableObsProb = dem.undetectableObsProb;
-
-    // The observable lives on the graph of the checks that detect the
-    // corresponding errors (Z-check detectors for a Z-basis memory).
-    const uint8_t tag = (built.obsBasis == PauliType::Z) ? 1 : 0;
-    ThreadPool pool(cfg.threads);
-    const MwpmDecoder mwpm(dem, tag, &pool);
-    const UnionFindDecoder uf(dem, tag);
-
-    // Pipeline state, allocated once and reused every batch: the frame
-    // simulator's planes/records, the CSR syndrome transpose, one decode
-    // scratch per worker, and per-worker failure counters merged in a
-    // fixed order (which keeps the result independent of scheduling).
-    std::vector<MwpmScratch> mwpm_scratch(pool.size());
-    std::vector<UfScratch> uf_scratch(pool.size());
-    std::vector<uint64_t> worker_failures(pool.size());
-    SparseSyndromes syndromes;
-    std::unique_ptr<FrameSimulator> sim;
-
-    uint64_t batch_seed = cfg.seed;
-    while (out.shots < cfg.maxShots && out.failures < cfg.targetFailures) {
-        const size_t batch = static_cast<size_t>(
-            std::min<uint64_t>(cfg.batchShots, cfg.maxShots - out.shots));
-        if (!sim || sim->shots() != batch) {
-            // First batch, or the final partial batch: (re)build buffers.
-            sim = std::make_unique<FrameSimulator>(built.circuit, batch,
-                                                   batch_seed++);
-        } else {
-            sim->reset(batch_seed++);
-            sim->run();
-        }
-        sim->sparseFiredDetectors(syndromes);
-        const BitVec &obs_bits = sim->observableBits(0);
-
-        std::fill(worker_failures.begin(), worker_failures.end(), 0);
-        // A few shards per worker: decode cost varies shot to shot, so
-        // dynamic claiming of smallish shards balances the load.
-        const size_t n_shards = std::min(batch, pool.size() * 4);
-        pool.parallelFor(n_shards, [&](size_t shard, size_t worker) {
-            const size_t begin = batch * shard / n_shards;
-            const size_t end = batch * (shard + 1) / n_shards;
-            uint64_t failures = 0;
-            for (size_t s = begin; s < end; ++s) {
-                const uint32_t *fired = syndromes.data(s);
-                const size_t n_fired = syndromes.count(s);
-                bool predicted;
-                switch (cfg.decoder) {
-                  case DecoderKind::Mwpm:
-                    predicted =
-                        mwpm.decode(fired, n_fired, mwpm_scratch[worker]);
-                    break;
-                  case DecoderKind::UnionFind:
-                    predicted = uf.decode(fired, n_fired, uf_scratch[worker]);
-                    break;
-                  case DecoderKind::Auto:
-                  default:
-                    predicted =
-                        (n_fired <= cfg.mwpmDefectCap)
-                            ? mwpm.decode(fired, n_fired,
-                                          mwpm_scratch[worker])
-                            : uf.decode(fired, n_fired, uf_scratch[worker]);
-                    break;
-                }
-                failures += predicted != obs_bits.get(s);
-            }
-            worker_failures[worker] += failures;
-        });
-        for (uint64_t f : worker_failures)
-            out.failures += f;
-        out.shots += batch;
-    }
-
+    out.shots = tl.shots;
+    out.failures = tl.failures;
+    out.numDetectors = tl.epochs[0].numDetectors;
+    out.decomposedHyperedges = tl.epochs[0].decomposedHyperedges;
+    out.undetectableObsProb = tl.epochs[0].undetectableObsProb;
     const auto est = estimateBinomial(out.failures, out.shots);
     out.pShot = est.p;
     out.se = est.stderr;

@@ -55,15 +55,73 @@ DefectSampler::sampleEvents(const CodePatch &patch, uint64_t cycles)
     return events;
 }
 
+ActiveDefectSweep::ActiveDefectSweep(const std::vector<DefectEvent> &events)
+    : events_(&events)
+{
+    by_start_.resize(events.size());
+    by_end_.resize(events.size());
+    for (size_t i = 0; i < events.size(); ++i)
+        by_start_[i] = by_end_[i] = i;
+    std::sort(by_start_.begin(), by_start_.end(), [&](size_t a, size_t b) {
+        return events[a].startCycle < events[b].startCycle;
+    });
+    std::sort(by_end_.begin(), by_end_.end(), [&](size_t a, size_t b) {
+        return events[a].endCycle < events[b].endCycle;
+    });
+}
+
+void
+ActiveDefectSweep::rewind()
+{
+    start_cursor_ = end_cursor_ = 0;
+    last_cycle_ = 0;
+    started_ = false;
+    refcount_.clear();
+    active_.clear();
+}
+
+const std::set<Coord> &
+ActiveDefectSweep::activeAt(uint64_t cycle)
+{
+    SURF_ASSERT(!started_ || cycle >= last_cycle_,
+                "ActiveDefectSweep queries must be monotone; rewind() first");
+    started_ = true;
+    last_cycle_ = cycle;
+    // Admit events that have started (startCycle <= cycle)...
+    while (start_cursor_ < by_start_.size()) {
+        const DefectEvent &ev = (*events_)[by_start_[start_cursor_]];
+        if (ev.startCycle > cycle)
+            break;
+        for (const Coord &c : ev.sites)
+            if (++refcount_[c] == 1)
+                active_.insert(c);
+        ++start_cursor_;
+    }
+    // ... and retire events that have expired (endCycle <= cycle). Every
+    // expired event was admitted above (endCycle > startCycle), so an
+    // event skipped over entirely between two queries nets out exactly.
+    while (end_cursor_ < by_end_.size()) {
+        const DefectEvent &ev = (*events_)[by_end_[end_cursor_]];
+        if (ev.endCycle > cycle)
+            break;
+        for (const Coord &c : ev.sites) {
+            auto it = refcount_.find(c);
+            if (it != refcount_.end() && --it->second == 0) {
+                refcount_.erase(it);
+                active_.erase(c);
+            }
+        }
+        ++end_cursor_;
+    }
+    return active_;
+}
+
 std::set<Coord>
 DefectSampler::activeSites(const std::vector<DefectEvent> &events,
                            uint64_t cycle)
 {
-    std::set<Coord> active;
-    for (const auto &ev : events)
-        if (ev.startCycle <= cycle && cycle < ev.endCycle)
-            active.insert(ev.sites.begin(), ev.sites.end());
-    return active;
+    ActiveDefectSweep sweep(events);
+    return sweep.activeAt(cycle);
 }
 
 std::set<Coord>

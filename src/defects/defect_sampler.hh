@@ -9,6 +9,8 @@
 #ifndef SURF_DEFECTS_DEFECT_SAMPLER_HH
 #define SURF_DEFECTS_DEFECT_SAMPLER_HH
 
+#include <cstddef>
+#include <map>
 #include <set>
 #include <vector>
 
@@ -25,6 +27,36 @@ struct DefectEvent
     uint64_t endCycle = 0;     ///< exclusive
     Coord center;
     std::set<Coord> sites;     ///< affected lattice sites (data + checks)
+};
+
+/**
+ * Sorted interval sweep over a fixed event list for monotone queries.
+ *
+ * Queries must come with non-decreasing cycles (the natural order of a
+ * timeline scan); each event is then admitted and retired exactly once,
+ * so a full sweep over Q query points and E events costs
+ * O(E log E + Q + total event sites) instead of the O(Q * E) of a
+ * per-query linear scan.
+ */
+class ActiveDefectSweep
+{
+  public:
+    explicit ActiveDefectSweep(const std::vector<DefectEvent> &events);
+
+    /** Active defective sites at `cycle` (>= the previous query's cycle). */
+    const std::set<Coord> &activeAt(uint64_t cycle);
+
+    /** Restart the sweep from cycle 0. */
+    void rewind();
+
+  private:
+    const std::vector<DefectEvent> *events_;
+    std::vector<size_t> by_start_, by_end_; ///< event indices, sorted
+    size_t start_cursor_ = 0, end_cursor_ = 0;
+    uint64_t last_cycle_ = 0;
+    bool started_ = false;
+    std::map<Coord, int> refcount_; ///< overlapping events per site
+    std::set<Coord> active_;
 };
 
 /** Samples defect events and static faults. */
@@ -54,7 +86,8 @@ class DefectSampler
     std::vector<DefectEvent> sampleEvents(const CodePatch &patch,
                                           uint64_t cycles);
 
-    /** Active defective sites at a given cycle. */
+    /** Active defective sites at a given cycle (one-shot interval sweep;
+     *  use ActiveDefectSweep directly when scanning a whole timeline). */
     static std::set<Coord> activeSites(const std::vector<DefectEvent> &events,
                                        uint64_t cycle);
 

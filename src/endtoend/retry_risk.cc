@@ -1,15 +1,65 @@
 #include "endtoend/retry_risk.hh"
 
+#include <algorithm>
 #include <cmath>
 #include <map>
 #include <tuple>
 
 #include "defects/defect_sampler.hh"
 #include "lattice/rotated.hh"
+#include "scenario/scenario_experiment.hh"
 #include "util/logging.hh"
 #include "util/thread_pool.hh"
 
 namespace surf {
+
+namespace {
+
+/**
+ * Analytic excess logical risk of one burst event under a strategy: the
+ * degraded-distance error rate integrated over the exposure window (see
+ * the per-strategy discussion in estimateRetryRisk). Shared between the
+ * Table-II estimator and the scenario-engine cross check so both sides of
+ * the comparison use the identical model.
+ */
+double
+perEventExcessRisk(Strategy strategy, int d, double loss,
+                   double duration_rounds, int region_diameter,
+                   const LogicalErrorModel &em)
+{
+    double d_eff;
+    double exposure_rounds = duration_rounds;
+    switch (strategy) {
+      case Strategy::SurfDeformer:
+        // Removal + enlargement restores the distance within one cycle;
+        // the residual measured loss applies only during the detection
+        // latency (~2 rounds of syndrome statistics), after which the
+        // only deficit is the measured post-restoration loss (usually 0).
+        d_eff = d - (region_diameter + loss);
+        exposure_rounds = 2.0;
+        break;
+      case Strategy::Ascs:
+        d_eff = d - loss;
+        break;
+      default:
+        d_eff = (strategy == Strategy::LatticeSurgery)
+                    ? d - loss
+                    : 2.0 * d - loss; // Q3DE doubles the patch
+        break;
+    }
+    double per_event = em.perRound(d_eff) * exposure_rounds;
+    if (strategy == Strategy::SurfDeformer) {
+        // After restoration the code is back at distance >= d for the
+        // rest of the event window: already covered by the base risk,
+        // plus the small residual loss if enlargement was capped.
+        per_event += em.perRound(d - loss) *
+                     (duration_rounds - exposure_rounds) *
+                     (loss > 0.0 ? 1.0 : 0.0);
+    }
+    return per_event;
+}
+
+} // namespace
 
 double
 measuredDistanceLoss(Strategy s, int d_cal, int delta_d, int samples,
@@ -118,36 +168,9 @@ estimateRetryRisk(const BenchmarkProgram &program, const RetryRiskConfig &cfg)
         cfg.seed, cfg.defectModel.regionDiameter);
     out.meanDistanceLoss = loss;
 
-    double d_eff;
-    double exposure_rounds = duration_rounds;
-    switch (cfg.strategy) {
-      case Strategy::SurfDeformer:
-        // Removal + enlargement restores the distance within one cycle;
-        // the residual measured loss applies only during the detection
-        // latency (~2 rounds of syndrome statistics), after which the
-        // only deficit is the measured post-restoration loss (usually 0).
-        d_eff = cfg.d - (cfg.defectModel.regionDiameter + loss);
-        exposure_rounds = 2.0;
-        break;
-      case Strategy::Ascs:
-        d_eff = cfg.d - loss;
-        break;
-      default:
-        d_eff = (cfg.strategy == Strategy::LatticeSurgery)
-                    ? cfg.d - loss
-                    : 2.0 * cfg.d - loss; // Q3DE doubles the patch
-        break;
-    }
-    double per_event =
-        cfg.errorModel.perRound(d_eff) * exposure_rounds;
-    if (cfg.strategy == Strategy::SurfDeformer) {
-        // After restoration the code is back at distance >= d for the
-        // rest of the event window: already covered by base_risk, plus
-        // the small residual loss if enlargement was capped.
-        per_event += cfg.errorModel.perRound(cfg.d - loss) *
-                     (duration_rounds - exposure_rounds) *
-                     (loss > 0.0 ? 1.0 : 0.0);
-    }
+    const double per_event =
+        perEventExcessRisk(cfg.strategy, cfg.d, loss, duration_rounds,
+                           cfg.defectModel.regionDiameter, cfg.errorModel);
     const double excess_risk = out.expectedEvents * per_event;
 
     // Q3DE's fixed layout: an enlarged patch blocks its channels for the
@@ -163,6 +186,79 @@ estimateRetryRisk(const BenchmarkProgram &program, const RetryRiskConfig &cfg)
     }
 
     out.retryRisk = 1.0 - std::exp(-(base_risk + excess_risk));
+
+    if (cfg.measuredCrossCheck) {
+        ScenarioCrossCheckConfig cc;
+        cc.strategy = cfg.strategy;
+        cc.d = cfg.lossCalibrationD;
+        cc.deltaD = plan.deltaD;
+        cc.defectModel = cfg.defectModel;
+        cc.errorModel = cfg.errorModel;
+        cc.lossSamples = cfg.lossSamples;
+        cc.seed = cfg.seed;
+        const ScenarioCrossCheck check = crossCheckRetryRisk(cc);
+        out.crossCheckMeasuredPRound = check.measuredPRound;
+        out.crossCheckAnalyticPRound = check.analyticPRound;
+    }
+    return out;
+}
+
+ScenarioCrossCheck
+crossCheckRetryRisk(const ScenarioCrossCheckConfig &cfg)
+{
+    ScenarioCrossCheck out;
+
+    // --- Measured side: full strategy-reactive timelines. ----------------
+    ScenarioConfig sc;
+    sc.timeline.strategy = cfg.strategy;
+    sc.timeline.d = cfg.d;
+    sc.timeline.deltaD = cfg.deltaD;
+    sc.timeline.horizonRounds = cfg.horizonRounds;
+    sc.timeline.windowRounds = cfg.windowRounds;
+    sc.defectModel = cfg.defectModel;
+    sc.eventRateScale = cfg.eventRateScale;
+    sc.numTimelines = cfg.numTimelines;
+    sc.noise.p = cfg.noiseP;
+    sc.maxShotsPerTimeline = cfg.shotsPerTimeline;
+    sc.seed = cfg.seed;
+    sc.threads = cfg.threads;
+    const ScenarioResult res = runScenarioExperiment(sc);
+    out.shots = res.shots;
+    out.failures = res.failures;
+    out.measuredPShot = res.pShot;
+    out.measuredPRound = res.pRound;
+    out.totalEpochs = res.totalEpochs;
+    const uint64_t lookups = res.cacheHits + res.cacheMisses;
+    out.cacheHitRate =
+        lookups ? static_cast<double>(res.cacheHits) / lookups : 0.0;
+
+    // --- Analytic side: the same workload through the distance-loss
+    // model (base space-time risk + expected-event excess). --------------
+    const double loss = measuredDistanceLoss(
+        cfg.strategy, cfg.d, cfg.deltaD, cfg.lossSamples, cfg.seed,
+        cfg.defectModel.regionDiameter);
+    const CodePatch patch = squarePatch(cfg.d);
+    const double events_per_round =
+        cfg.defectModel.eventRatePerQubitCycle() * cfg.eventRateScale *
+        static_cast<double>(patch.numPhysicalQubits());
+    out.expectedEvents =
+        events_per_round * static_cast<double>(cfg.horizonRounds);
+    const double base_risk = static_cast<double>(cfg.horizonRounds) *
+                             cfg.errorModel.perRound(cfg.d);
+    // An event's exposure cannot extend past the simulated horizon; scale
+    // defectModel.durationSec down (as the scenario bench does) when the
+    // persistence matters to the strategy under test.
+    const double duration_rounds =
+        std::min(static_cast<double>(cfg.defectModel.durationCycles()),
+                 static_cast<double>(cfg.horizonRounds));
+    const double per_event =
+        perEventExcessRisk(cfg.strategy, cfg.d, loss, duration_rounds,
+                           cfg.defectModel.regionDiameter, cfg.errorModel);
+    out.analyticPShot =
+        1.0 - std::exp(-(base_risk + out.expectedEvents * per_event));
+    out.analyticPRound =
+        1.0 - std::pow(1.0 - out.analyticPShot,
+                       1.0 / static_cast<double>(cfg.horizonRounds));
     return out;
 }
 

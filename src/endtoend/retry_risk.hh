@@ -47,6 +47,9 @@ struct RetryRiskConfig
     double tDivisor = 2.0;
     /** Q3DE stalls out when blocked tiles exceed this fraction. */
     double overRuntimeFraction = 0.05;
+    /** Run the scenario-engine cross check at the calibration distance and
+     *  report measured vs analytic dynamic-defect risk (expensive). */
+    bool measuredCrossCheck = false;
 };
 
 /** Estimator output (one Table-II cell). */
@@ -59,7 +62,57 @@ struct RetryRiskResult
     double expectedEvents = 0.0;
     int deltaD = 0;
     double meanDistanceLoss = 0.0; ///< measured residual loss per event
+    /** Filled when cfg.measuredCrossCheck is set: simulated vs analytic
+     *  per-round logical error under dynamic defects at the calibration
+     *  distance (agreement validates the extrapolated model). */
+    double crossCheckMeasuredPRound = 0.0;
+    double crossCheckAnalyticPRound = 0.0;
 };
+
+/** Configuration of the scenario-engine cross check. */
+struct ScenarioCrossCheckConfig
+{
+    Strategy strategy = Strategy::SurfDeformer;
+    int d = 5;
+    int deltaD = 2;
+    DefectModelParams defectModel;
+    LogicalErrorModel errorModel;
+    /** Event-rate multiplier so short horizons see enough strikes. The
+     *  analytic prediction scales identically, so agreement is preserved. */
+    double eventRateScale = 2000.0;
+    /** Samples for the analytic side's distance-loss measurement; forward
+     *  RetryRiskConfig::lossSamples so both sides share one model. */
+    int lossSamples = 24;
+    uint64_t horizonRounds = 120;
+    uint64_t windowRounds = 20;
+    int numTimelines = 8;
+    uint64_t shotsPerTimeline = 512;
+    double noiseP = 2e-3;
+    uint64_t seed = 20240731;
+    size_t threads = 0;
+};
+
+/** Measured-vs-analytic comparison of dynamic-defect logical risk. */
+struct ScenarioCrossCheck
+{
+    uint64_t shots = 0;
+    uint64_t failures = 0;
+    double measuredPShot = 0.0;
+    double measuredPRound = 0.0;
+    double analyticPShot = 0.0; ///< model: base + expected-event excess
+    double analyticPRound = 0.0;
+    double expectedEvents = 0.0; ///< per timeline (analytic)
+    uint64_t totalEpochs = 0;    ///< deformation activity actually seen
+    double cacheHitRate = 0.0;
+};
+
+/**
+ * Cross-check the analytic retry-risk excess model against the scenario
+ * engine: simulate full strategy-reactive timelines at a simulable
+ * distance and compare the measured logical error rate with the
+ * distance-loss-based analytic prediction for the identical workload.
+ */
+ScenarioCrossCheck crossCheckRetryRisk(const ScenarioCrossCheckConfig &cfg);
 
 /** Estimate the retry risk of one program under one strategy. */
 RetryRiskResult estimateRetryRisk(const BenchmarkProgram &program,

@@ -1,0 +1,26 @@
+#include "scenario/deformed_code_cache.hh"
+
+namespace surf {
+
+const CachedSegment &
+DeformedCodeCache::get(const std::string &key,
+                       const std::function<CachedSegment()> &build)
+{
+    auto it = entries_.find(key);
+    if (it != entries_.end()) {
+        ++hits_;
+        return *it->second;
+    }
+    ++misses_;
+    auto entry = std::make_unique<CachedSegment>(build());
+    return *entries_.emplace(key, std::move(entry)).first->second;
+}
+
+void
+DeformedCodeCache::clear()
+{
+    entries_.clear();
+    hits_ = misses_ = 0;
+}
+
+} // namespace surf

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * DeformedCodeCache: memoizes the expensive per-epoch decode artifacts —
+ * the standalone segment circuit, its detector error model, and the
+ * decoder graphs (whose all-pairs shortest-path tables dominate build
+ * time). Keys are canonical segment identities (previous/current patch
+ * signatures, seam trust set, rounds, round parity, position flags and the
+ * decoder-view noise), so every recurrence of a deformed shape across
+ * shots, events and timelines reuses one entry. Entries are built from
+ * pure functions of the key, which is why cache-hit and cache-miss
+ * decodes are bit-identical.
+ *
+ * Not thread-safe: the scenario engine populates it from the orchestrating
+ * thread only; decode workers share the immutable entries.
+ */
+
+#ifndef SURF_SCENARIO_DEFORMED_CODE_CACHE_HH
+#define SURF_SCENARIO_DEFORMED_CODE_CACHE_HH
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "decode/mwpm.hh"
+#include "decode/union_find.hh"
+#include "sim/segment.hh"
+
+namespace surf {
+
+/** One memoized decode-ready segment. */
+struct CachedSegment
+{
+    Circuit circuit; ///< standalone decoder-view circuit
+    DetectorErrorModel dem;
+    std::unique_ptr<MwpmDecoder> mwpm;
+    std::unique_ptr<UnionFindDecoder> uf;
+};
+
+/** Signature-keyed store of decode-ready segments. */
+class DeformedCodeCache
+{
+  public:
+    /**
+     * Look up `key`, building the entry with `build` on a miss. The
+     * returned reference stays valid for the cache's lifetime.
+     */
+    const CachedSegment &get(const std::string &key,
+                             const std::function<CachedSegment()> &build);
+
+    uint64_t hits() const { return hits_; }
+    uint64_t misses() const { return misses_; }
+    double
+    hitRate() const
+    {
+        const uint64_t total = hits_ + misses_;
+        return total ? static_cast<double>(hits_) / total : 0.0;
+    }
+    size_t size() const { return entries_.size(); }
+
+    void resetStats() { hits_ = misses_ = 0; }
+    void clear();
+
+  private:
+    std::map<std::string, std::unique_ptr<CachedSegment>> entries_;
+    uint64_t hits_ = 0;
+    uint64_t misses_ = 0;
+};
+
+} // namespace surf
+
+#endif // SURF_SCENARIO_DEFORMED_CODE_CACHE_HH

@@ -1,0 +1,83 @@
+#include "scenario/epoch_plan.hh"
+
+#include "scenario/patch_signature.hh"
+#include "util/logging.hh"
+
+namespace surf {
+
+ScenarioPlan
+planEpochs(const EpochPlannerConfig &cfg,
+           const std::vector<DefectEvent> &events, StrategyMemo *memo)
+{
+    SURF_ASSERT(cfg.horizonRounds >= 1, "empty scenario horizon");
+    SURF_ASSERT(cfg.windowRounds >= 1, "window must cover at least a round");
+    ScenarioPlan plan;
+    plan.numEvents = events.size();
+
+    StrategyMemo local;
+    StrategyMemo &outcomes = memo ? *memo : local;
+
+    ActiveDefectSweep sweep(events);
+    for (uint64_t t = 0; t < cfg.horizonRounds; t += cfg.windowRounds) {
+        const uint64_t rounds =
+            std::min<uint64_t>(cfg.windowRounds, cfg.horizonRounds - t);
+        const std::set<Coord> &active = sweep.activeAt(t);
+
+        const std::string active_key = coordSetSignature(active);
+        auto it = outcomes.find(active_key);
+        if (it == outcomes.end())
+            it = outcomes
+                     .emplace(active_key, applyStrategy(cfg.strategy, cfg.d,
+                                                        cfg.deltaD, active))
+                     .first;
+        const StrategyOutcome &outcome = it->second;
+        plan.alive = plan.alive && outcome.alive;
+
+        std::string sig = patchSignature(outcome.patch);
+
+        // The merge identity covers structure *and* the sampling-noise
+        // view: equal shapes with different residual defects must not
+        // merge (their syndrome circuits differ).
+        Epoch *back = plan.epochs.empty() ? nullptr : &plan.epochs.back();
+        const bool mergeable =
+            back && !cfg.forceEpochBoundaries && back->structSig == sig &&
+            back->residualDefects == outcome.residualDefects &&
+            (cfg.maxEpochRounds == 0 ||
+             back->rounds + rounds <= cfg.maxEpochRounds);
+        if (mergeable) {
+            back->rounds += rounds;
+            continue;
+        }
+        Epoch e;
+        e.startRound = t;
+        e.rounds = rounds;
+        e.deformed.patch = outcome.patch;
+        e.deformed.distX = outcome.distX;
+        e.deformed.distZ = outcome.distZ;
+        e.deformed.alive = outcome.alive;
+        e.residualDefects = outcome.residualDefects;
+        e.activeSites = active;
+        e.structSig = std::move(sig);
+        plan.epochs.push_back(std::move(e));
+    }
+
+    // Apply the epoch-length cap by splitting over-long epochs in place
+    // (same patch on both sides; the seam is a pure continuation).
+    if (cfg.maxEpochRounds > 0) {
+        std::vector<Epoch> split;
+        for (Epoch &e : plan.epochs) {
+            while (e.rounds > cfg.maxEpochRounds) {
+                Epoch head = e;
+                head.rounds = cfg.maxEpochRounds;
+                split.push_back(head);
+                e.startRound += cfg.maxEpochRounds;
+                e.rounds -= cfg.maxEpochRounds;
+            }
+            split.push_back(std::move(e));
+        }
+        plan.epochs = std::move(split);
+    }
+    return plan;
+}
+
+} // namespace surf

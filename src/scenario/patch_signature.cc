@@ -1,0 +1,72 @@
+#include "scenario/patch_signature.hh"
+
+namespace surf {
+
+namespace {
+
+void
+appendCoord(std::string &out, Coord c)
+{
+    out += std::to_string(c.x);
+    out += ',';
+    out += std::to_string(c.y);
+    out += ';';
+}
+
+} // namespace
+
+std::string
+patchSignature(const CodePatch &patch)
+{
+    std::string sig;
+    sig.reserve(64 + 16 * patch.numData());
+    sig += 'B';
+    appendCoord(sig, {patch.xMin(), patch.yMin()});
+    appendCoord(sig, {patch.xMax(), patch.yMax()});
+    sig += "D:";
+    for (const Coord &q : patch.dataQubits())
+        appendCoord(sig, q);
+    sig += "C:";
+    for (const auto &c : patch.checks()) {
+        sig += (c.type == PauliType::Z) ? 'z' : 'x';
+        sig += (c.role == CheckRole::Stabilizer) ? 's' : 'g';
+        sig += static_cast<char>('0' + (c.phase & 1));
+        if (c.ancilla) {
+            sig += '@';
+            appendCoord(sig, *c.ancilla);
+        } else {
+            sig += '.';
+        }
+        for (const Coord &q : c.support)
+            appendCoord(sig, q);
+        sig += '|';
+    }
+    sig += "S:";
+    for (const auto &ss : patch.supers()) {
+        sig += (ss.type == PauliType::Z) ? 'z' : 'x';
+        for (int m : ss.members) {
+            sig += std::to_string(m);
+            sig += ',';
+        }
+        sig += '|';
+    }
+    sig += "LX:";
+    for (const Coord &q : patch.logicalX())
+        appendCoord(sig, q);
+    sig += "LZ:";
+    for (const Coord &q : patch.logicalZ())
+        appendCoord(sig, q);
+    return sig;
+}
+
+std::string
+coordSetSignature(const std::set<Coord> &sites)
+{
+    std::string sig;
+    sig.reserve(8 * sites.size());
+    for (const Coord &c : sites)
+        appendCoord(sig, c);
+    return sig;
+}
+
+} // namespace surf

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Canonical signatures for (deformed) patches and coordinate sets. The
+ * scenario engine uses them in two places: the epoch planner merges
+ * consecutive round-windows whose deformation outcome is identical, and
+ * the DeformedCodeCache keys memoized {segment circuit, DEM, decoder}
+ * entries — deformed shapes recur constantly across shots and events, so
+ * signature equality is what turns rebuilds into lookups.
+ */
+
+#ifndef SURF_SCENARIO_PATCH_SIGNATURE_HH
+#define SURF_SCENARIO_PATCH_SIGNATURE_HH
+
+#include <set>
+#include <string>
+
+#include "lattice/patch.hh"
+
+namespace surf {
+
+/**
+ * Canonical structural signature of a patch: data qubits, checks (type,
+ * role, ancilla, support), super-stabilizer clusters, logical
+ * representatives and bounds. Two patches with equal signatures build
+ * identical syndrome circuits under equal noise.
+ */
+std::string patchSignature(const CodePatch &patch);
+
+/** Compact serialization of a coordinate set (for cache/merge keys). */
+std::string coordSetSignature(const std::set<Coord> &sites);
+
+} // namespace surf
+
+#endif // SURF_SCENARIO_PATCH_SIGNATURE_HH

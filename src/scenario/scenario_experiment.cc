@@ -1,0 +1,340 @@
+#include "scenario/scenario_experiment.hh"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "lattice/rotated.hh"
+#include "scenario/patch_signature.hh"
+#include "sim/dem.hh"
+#include "sim/frame.hh"
+#include "util/logging.hh"
+#include "util/stats.hh"
+#include "util/thread_pool.hh"
+
+namespace surf {
+
+namespace {
+
+/** SplitMix64-style timeline seed derivation (deterministic, decorrelated
+ *  from the per-batch sampling seeds). */
+uint64_t
+mixSeed(uint64_t seed, uint64_t salt)
+{
+    uint64_t z = seed + 0x9e3779b97f4a7c15ULL * (salt + 1);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+/** Per-timeline stride of the batch-seed sequence; timeline 0 starts at
+ *  cfg.seed exactly so one-timeline scenarios share the memory pipeline's
+ *  seed schedule. */
+constexpr uint64_t kTimelineSeedStride = 0x51ed5eed9e3779b9ULL;
+
+std::string
+noiseSignature(const NoiseParams &noise)
+{
+    // Round-trippable float encoding: std::to_string's fixed six decimals
+    // would collide distinct sub-1e-6 rates into one cache key.
+    char buf[96];
+    std::snprintf(buf, sizeof buf, "p%.17g,pd%.17g,pc%.17g,df:", noise.p,
+                  noise.pDefect, noise.pCorrelated2q);
+    return buf + coordSetSignature(noise.defectiveSites);
+}
+
+/** Canonical identity of one decode-ready segment (see the cache doc). */
+std::string
+segmentCacheKey(const std::string &prevSig, const std::string &curSig,
+                const std::set<Coord> &removedUntrusted,
+                const std::vector<Coord> &prevTracked,
+                const std::vector<Coord> &curTracked,
+                const SegmentSpec &spec, const NoiseParams &decoderNoise)
+{
+    std::string key = "cur:" + curSig + "\nprev:" + prevSig;
+    key += "\nuntrusted:" + coordSetSignature(removedUntrusted);
+    key += "\ntrack:" +
+           coordSetSignature({prevTracked.begin(), prevTracked.end()}) +
+           ">" + coordSetSignature({curTracked.begin(), curTracked.end()});
+    key += "\nr" + std::to_string(spec.rounds);
+    key += " s" + std::to_string(spec.startRound & 1);
+    key += spec.first ? " F" : "";
+    key += spec.last ? " L" : "";
+    key += (spec.basis == PauliType::Z) ? " bZ" : " bX";
+    key += "\nnoise:" + noiseSignature(decoderNoise);
+    return key;
+}
+
+/** Deterministic all-loss timeline (dead patch or broken continuity). */
+TimelineStats
+deadTimeline(const ScenarioConfig &cfg, size_t events)
+{
+    TimelineStats tl;
+    tl.events = events;
+    tl.dead = true;
+    tl.shots = cfg.maxShotsPerTimeline;
+    tl.failures = cfg.maxShotsPerTimeline;
+    return tl;
+}
+
+} // namespace
+
+TimelineStats
+runPlannedTimeline(const ScenarioPlan &plan, const ScenarioConfig &cfg,
+                   DeformedCodeCache &cache, uint64_t batchSeedBase,
+                   uint64_t failuresSoFar)
+{
+    // A deformation window that destroyed the logical qubit makes every
+    // shot of the timeline a logical loss (deterministic, so the result
+    // stays invariant under threading and caching).
+    if (!plan.alive)
+        return deadTimeline(cfg, plan.numEvents);
+    TimelineStats tl;
+    tl.events = plan.numEvents;
+    SURF_ASSERT(!plan.epochs.empty(), "planned timeline has no epochs");
+    const size_t n_epochs = plan.epochs.size();
+    const uint8_t tag = (cfg.basis == PauliType::Z) ? 1 : 0;
+    ThreadPool pool(cfg.threads);
+
+    // --- Stitch the concatenated sampling circuit and resolve one
+    // decode-ready segment per epoch (cache hit or build). ---------------
+    Circuit ckt;
+    std::map<Coord, uint32_t> qubit_id;
+    SeamState carry;
+    const CodePatch *prev_patch = nullptr;
+    const std::string *prev_sig = nullptr;
+    std::vector<Coord> tracked; ///< representative carried across seams
+    std::vector<size_t> det_begin(n_epochs), det_end(n_epochs);
+    std::vector<const CachedSegment *> segs(n_epochs);
+    std::vector<std::unique_ptr<CachedSegment>> uncached;
+    tl.epochs.resize(n_epochs);
+
+    for (size_t e = 0; e < n_epochs; ++e) {
+        const Epoch &ep = plan.epochs[e];
+        const CodePatch &patch = ep.deformed.patch;
+        SegmentSpec spec;
+        spec.basis = cfg.basis;
+        spec.rounds = static_cast<int>(ep.rounds);
+        spec.startRound = ep.startRound;
+        spec.first = (e == 0);
+        spec.last = (e + 1 == n_epochs);
+        spec.epochProbes = true; ///< opening/closing oracle probes
+
+        const std::vector<Coord> prev_tracked = tracked;
+        const SeamPlan seam =
+            computeSeamPlan(prev_patch, patch, cfg.basis, ep.activeSites,
+                            ep.startRound, e ? &prev_tracked : nullptr);
+        if (!seam.obsCarryValid)
+            // No continuation of the tracked logical exists in the new
+            // code: the burst effectively destroyed the stored qubit.
+            return deadTimeline(cfg, plan.numEvents);
+        tracked = seam.trackedLogical;
+
+        // Sampling view: residual defects inside the code, plus active
+        // defects on qubits being measured out at the seam (their readouts
+        // are junk, which is exactly why the seam plan distrusts them).
+        NoiseParams samp_noise = cfg.noise;
+        samp_noise.defectiveSites = ep.residualDefects;
+        std::set<Coord> removed_untrusted;
+        for (const Coord &q : seam.removed)
+            if (ep.activeSites.count(q)) {
+                samp_noise.defectiveSites.insert(q);
+                removed_untrusted.insert(q);
+            }
+
+        const SegmentResult res =
+            appendSegment(ckt, qubit_id, patch, spec, samp_noise, seam,
+                          e ? &carry : nullptr, false);
+        carry = std::move(res.carry);
+        det_begin[e] = res.detBegin;
+        det_end[e] = res.detEnd;
+        // Decoder view: defect-unaware unless configured otherwise.
+        NoiseParams dec_noise = cfg.noise;
+        dec_noise.defectiveSites = cfg.decoderKnowsDefects
+                                       ? ep.residualDefects
+                                       : std::set<Coord>{};
+        auto build = [&] {
+            SegmentSpec standalone_spec = spec;
+            standalone_spec.epochProbes = false;
+            CachedSegment cs;
+            cs.circuit = buildStandaloneSegment(patch, standalone_spec,
+                                                dec_noise, seam, prev_patch);
+            cs.dem = buildDem(cs.circuit, cfg.basis);
+            cs.mwpm = std::make_unique<MwpmDecoder>(cs.dem, tag, &pool);
+            cs.uf = std::make_unique<UnionFindDecoder>(cs.dem, tag);
+            return cs;
+        };
+        if (cfg.useCache) {
+            const std::string key = segmentCacheKey(
+                prev_sig ? *prev_sig : std::string("-"), ep.structSig,
+                removed_untrusted, prev_tracked, seam.trackedLogical, spec,
+                dec_noise);
+            segs[e] = &cache.get(key, build);
+        } else {
+            uncached.push_back(std::make_unique<CachedSegment>(build()));
+            segs[e] = uncached.back().get();
+        }
+        SURF_ASSERT(segs[e]->dem.numDetectors == det_end[e] - det_begin[e],
+                    "standalone segment does not mirror the concatenated "
+                    "detector range");
+
+        EpochStats &st = tl.epochs[e];
+        st.startRound = ep.startRound;
+        st.rounds = ep.rounds;
+        st.distX = ep.deformed.distX;
+        st.distZ = ep.deformed.distZ;
+        st.activeDefects = ep.activeSites.size();
+        st.numDetectors = det_end[e] - det_begin[e];
+        st.decomposedHyperedges = segs[e]->dem.decomposedComponents;
+        st.undetectableObsProb = segs[e]->dem.undetectableObsProb;
+
+        prev_patch = &patch;
+        prev_sig = &ep.structSig;
+    }
+
+    // --- Batched sampling + sharded per-epoch decode ---------------------
+    // Same pipeline discipline as runMemoryExperiment: sampling is serial
+    // per batch, shots decode independently, per-worker tallies merge in a
+    // fixed order — the result is bit-identical for any thread count.
+    std::vector<MwpmScratch> mwpm_scratch(pool.size());
+    std::vector<UfScratch> uf_scratch(pool.size());
+    std::vector<uint64_t> worker_failures(pool.size());
+    std::vector<std::vector<uint32_t>> local_ids(pool.size());
+    std::vector<std::vector<uint64_t>> worker_mism(
+        pool.size(), std::vector<uint64_t>(n_epochs));
+    SparseSyndromes syndromes;
+    std::unique_ptr<FrameSimulator> sim;
+
+    uint64_t batch_seed = batchSeedBase;
+    while (tl.shots < cfg.maxShotsPerTimeline &&
+           failuresSoFar + tl.failures < cfg.targetFailures) {
+        const size_t batch = static_cast<size_t>(std::min<uint64_t>(
+            cfg.batchShots, cfg.maxShotsPerTimeline - tl.shots));
+        if (!sim || sim->shots() != batch) {
+            sim = std::make_unique<FrameSimulator>(ckt, batch, batch_seed++);
+        } else {
+            sim->reset(batch_seed++);
+            sim->run();
+        }
+        sim->sparseFiredDetectors(syndromes);
+        const BitVec &obs_bits = sim->observableBits(0);
+
+        std::fill(worker_failures.begin(), worker_failures.end(), 0);
+        for (auto &m : worker_mism)
+            std::fill(m.begin(), m.end(), 0);
+        const size_t n_shards = std::min(batch, pool.size() * 4);
+        pool.parallelFor(n_shards, [&](size_t shard, size_t worker) {
+            const size_t begin = batch * shard / n_shards;
+            const size_t end = batch * (shard + 1) / n_shards;
+            uint64_t failures = 0;
+            for (size_t s = begin; s < end; ++s) {
+                const uint32_t *fired = syndromes.data(s);
+                const size_t n_fired = syndromes.count(s);
+                size_t idx = 0;
+                bool total = false;
+                for (size_t e = 0; e < n_epochs; ++e) {
+                    // Detector ranges are contiguous and ascending, so one
+                    // sweep slices the sorted fired list per epoch.
+                    auto &ids = local_ids[worker];
+                    ids.clear();
+                    while (idx < n_fired && fired[idx] < det_end[e]) {
+                        ids.push_back(static_cast<uint32_t>(fired[idx] -
+                                                            det_begin[e]));
+                        ++idx;
+                    }
+                    bool predicted;
+                    switch (cfg.decoder) {
+                      case DecoderKind::Mwpm:
+                        predicted = segs[e]->mwpm->decode(
+                            ids.data(), ids.size(), mwpm_scratch[worker]);
+                        break;
+                      case DecoderKind::UnionFind:
+                        predicted = segs[e]->uf->decode(
+                            ids.data(), ids.size(), uf_scratch[worker]);
+                        break;
+                      case DecoderKind::Auto:
+                      default:
+                        predicted =
+                            (ids.size() <= cfg.mwpmDefectCap)
+                                ? segs[e]->mwpm->decode(ids.data(),
+                                                        ids.size(),
+                                                        mwpm_scratch[worker])
+                                : segs[e]->uf->decode(ids.data(), ids.size(),
+                                                      uf_scratch[worker]);
+                        break;
+                    }
+                    // Oracle truth of this epoch: frame accumulated on its
+                    // own tracked representative between the opening probe
+                    // (index 2e-1; zero for the first epoch) and the
+                    // closing probe (index 2e) — the same accounting its
+                    // decoder uses. Seam frame updates and readout noise
+                    // live in the observable, not the probes, so per-epoch
+                    // truths are diagnostics; the failure check below
+                    // always uses the true observable.
+                    const bool open_frame =
+                        e ? sim->probeBits(2 * e - 1).get(s) : false;
+                    const bool close_frame = sim->probeBits(2 * e).get(s);
+                    worker_mism[worker][e] +=
+                        predicted != (open_frame ^ close_frame);
+                    total ^= predicted;
+                }
+                failures += total != obs_bits.get(s);
+            }
+            worker_failures[worker] += failures;
+        });
+        for (uint64_t f : worker_failures)
+            tl.failures += f;
+        for (const auto &m : worker_mism)
+            for (size_t e = 0; e < n_epochs; ++e)
+                tl.epochs[e].mismatches += m[e];
+        for (size_t e = 0; e < n_epochs; ++e)
+            tl.epochs[e].shots += batch;
+        tl.shots += batch;
+    }
+    return tl;
+}
+
+ScenarioResult
+runScenarioExperiment(const ScenarioConfig &cfg)
+{
+    ScenarioResult out;
+    out.horizonRounds = cfg.timeline.horizonRounds;
+    DeformedCodeCache local_cache;
+    DeformedCodeCache &cache = cfg.cache ? *cfg.cache : local_cache;
+    const uint64_t hits0 = cache.hits(), misses0 = cache.misses();
+
+    StrategyMemo memo;
+    const CodePatch base = squarePatch(cfg.timeline.d);
+    DefectModelParams model = cfg.defectModel;
+    model.eventRatePerQubitSec *= cfg.eventRateScale;
+
+    for (int t = 0; t < cfg.numTimelines; ++t) {
+        if (out.failures >= cfg.targetFailures)
+            break;
+        std::vector<DefectEvent> events;
+        if (cfg.eventRateScale > 0.0) {
+            DefectSampler sampler(model, mixSeed(cfg.seed, 0xdefec7 + t));
+            events = sampler.sampleEvents(base, cfg.timeline.horizonRounds);
+        }
+        const ScenarioPlan plan = planEpochs(cfg.timeline, events, &memo);
+        TimelineStats tl = runPlannedTimeline(
+            plan, cfg, cache,
+            cfg.seed + static_cast<uint64_t>(t) * kTimelineSeedStride,
+            out.failures);
+        out.shots += tl.shots;
+        out.failures += tl.failures;
+        out.totalEpochs += tl.epochs.size();
+        out.deadTimelines += tl.dead ? 1 : 0;
+        out.timelines.push_back(std::move(tl));
+    }
+    out.cacheHits = cache.hits() - hits0;
+    out.cacheMisses = cache.misses() - misses0;
+
+    const auto est = estimateBinomial(out.failures, out.shots);
+    out.pShot = est.p;
+    out.se = est.stderr;
+    out.pRound = perRoundRate(
+        out.pShot, static_cast<size_t>(cfg.timeline.horizonRounds));
+    return out;
+}
+
+} // namespace surf

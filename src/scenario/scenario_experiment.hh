@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Dynamic-scenario Monte-Carlo engine: memory experiments across live
+ * deformations. A scenario samples a burst-defect timeline, plans epochs
+ * (maximal runs of rounds with a constant deformed patch — see
+ * epoch_plan.hh), stitches one syndrome-circuit segment per epoch into a
+ * single concatenated circuit (data-qubit error frames carry across
+ * seams; seam detectors reference the previous epoch's final inferences),
+ * samples it with the batched frame simulator, and decodes per epoch with
+ * DeformedCodeCache-memoized decoder graphs on the threaded pipeline.
+ *
+ * Guarantees:
+ *  - A defect-free scenario plans exactly one epoch and reproduces
+ *    runMemoryExperiment bit-for-bit at the same seed and shot schedule,
+ *    for any window size.
+ *  - Results are bit-identical for any thread count and with the cache
+ *    enabled or disabled (entries are pure functions of their keys).
+ *  - Per-epoch decoding is windowed decoding: errors straddling a seam
+ *    are matched within their epoch (the standard approximation); the
+ *    end-to-end failure check compares the XOR of per-epoch predictions
+ *    against the true final observable.
+ *
+ * Per-epoch logical truth comes from FrameProbe oracle instrumentation:
+ * the simulator records the logical frame parity at every seam, so the
+ * engine can attribute logical flips to the epoch that caused them.
+ */
+
+#ifndef SURF_SCENARIO_SCENARIO_EXPERIMENT_HH
+#define SURF_SCENARIO_SCENARIO_EXPERIMENT_HH
+
+#include "decode/memory_experiment.hh"
+#include "scenario/deformed_code_cache.hh"
+#include "scenario/epoch_plan.hh"
+
+namespace surf {
+
+/** Scenario Monte-Carlo configuration. */
+struct ScenarioConfig
+{
+    EpochPlannerConfig timeline; ///< strategy, d, horizon, window, ...
+    DefectModelParams defectModel;
+    /** Scale factor on the defect event rate (0 disables events; the
+     *  cosmic-ray benches crank this up so short horizons see strikes). */
+    double eventRateScale = 1.0;
+    int numTimelines = 1;
+
+    NoiseParams noise; ///< defectiveSites is per-epoch (from the planner);
+                       ///< any sites set here are ignored
+    PauliType basis = PauliType::Z;
+    DecoderKind decoder = DecoderKind::Auto;
+    size_t mwpmDefectCap = 120; ///< Auto: per-epoch defect cap for MWPM
+    uint64_t maxShotsPerTimeline = 4096;
+    uint64_t targetFailures = UINT64_MAX; ///< stop early once reached
+    size_t batchShots = 4096;
+    size_t threads = 0; ///< decode workers; results thread-count invariant
+    bool decoderKnowsDefects = false;
+    uint64_t seed = 0x5eedULL;
+
+    bool useCache = true; ///< disable to rebuild decoders per epoch (bench)
+    DeformedCodeCache *cache = nullptr; ///< optional external cache
+};
+
+/** Per-epoch statistics of one timeline. */
+struct EpochStats
+{
+    uint64_t startRound = 0;
+    uint64_t rounds = 0;
+    size_t distX = 0, distZ = 0;
+    size_t activeDefects = 0; ///< active defective sites at epoch start
+    size_t numDetectors = 0;
+    size_t decomposedHyperedges = 0;
+    double undetectableObsProb = 0.0;
+    uint64_t shots = 0;
+    /** Shots where this epoch's decode disagreed with the oracle logical
+     *  frame flip accrued during the epoch. */
+    uint64_t mismatches = 0;
+    double
+    pEpoch() const
+    {
+        return shots ? static_cast<double>(mismatches) / shots : 0.0;
+    }
+};
+
+/** One simulated timeline. */
+struct TimelineStats
+{
+    uint64_t shots = 0;
+    uint64_t failures = 0;
+    size_t events = 0;
+    bool dead = false; ///< a deformation window destroyed the logical qubit
+    std::vector<EpochStats> epochs;
+};
+
+/** Aggregate scenario result. */
+struct ScenarioResult
+{
+    uint64_t shots = 0;
+    uint64_t failures = 0;
+    double pShot = 0.0;
+    double pRound = 0.0; ///< per-round rate over the horizon
+    double se = 0.0;
+    uint64_t horizonRounds = 0;
+    uint64_t totalEpochs = 0;
+    uint64_t deadTimelines = 0;
+    uint64_t cacheHits = 0;   ///< this run's lookups (even with an
+    uint64_t cacheMisses = 0; ///< external shared cache)
+    std::vector<TimelineStats> timelines;
+};
+
+/** Run the scenario sweep. */
+ScenarioResult runScenarioExperiment(const ScenarioConfig &cfg);
+
+/**
+ * Run one explicitly-planned timeline (the engine behind
+ * runScenarioExperiment; runMemoryExperiment is the one-epoch case).
+ * @param batchSeedBase first per-batch sampling seed (incremented batch
+ *        by batch, exactly like the memory pipeline)
+ * @param failuresSoFar early-stop tally carried across timelines
+ */
+TimelineStats runPlannedTimeline(const ScenarioPlan &plan,
+                                 const ScenarioConfig &cfg,
+                                 DeformedCodeCache &cache,
+                                 uint64_t batchSeedBase,
+                                 uint64_t failuresSoFar);
+
+} // namespace surf
+
+#endif // SURF_SCENARIO_SCENARIO_EXPERIMENT_HH

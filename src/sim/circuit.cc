@@ -10,8 +10,9 @@ namespace surf {
 size_t
 Circuit::append(Op op, std::vector<uint32_t> targets, double arg)
 {
-    SURF_ASSERT(op != Op::Detector && op != Op::ObservableInclude,
-                "use appendDetector/appendObservable");
+    SURF_ASSERT(op != Op::Detector && op != Op::ObservableInclude &&
+                    op != Op::FrameProbe,
+                "use appendDetector/appendObservable/appendFrameProbe");
     if (op == Op::CX || op == Op::Depolarize2)
         SURF_ASSERT(targets.size() % 2 == 0, "pairwise op needs even targets");
     if (isNoiseOp(op))
@@ -55,6 +56,22 @@ Circuit::appendObservable(uint32_t observable_index,
     num_observables_ = std::max<size_t>(num_observables_, observable_index + 1);
 }
 
+uint32_t
+Circuit::appendFrameProbe(std::vector<uint32_t> qubits, PauliType basis,
+                          bool observable_cancel)
+{
+    for (uint32_t t : qubits)
+        num_qubits_ = std::max(num_qubits_, t + 1);
+    const uint32_t index = static_cast<uint32_t>(num_probes_++);
+    Instruction ins;
+    ins.op = Op::FrameProbe;
+    ins.targets = std::move(qubits);
+    ins.aux = (index << 2) | (observable_cancel ? 2u : 0u) |
+              (basis == PauliType::Z ? 1u : 0u);
+    instrs_.push_back(std::move(ins));
+    return index;
+}
+
 size_t
 Circuit::countNoiseInstructions() const
 {
@@ -71,7 +88,7 @@ Circuit::str() const
     static const char *names[] = {"R",  "RX", "M",  "MX", "H", "CX",
                                   "X_ERROR", "Z_ERROR", "DEPOLARIZE1",
                                   "DEPOLARIZE2", "DETECTOR", "OBSERVABLE",
-                                  "TICK"};
+                                  "TICK", "FRAME_PROBE"};
     std::ostringstream oss;
     for (const auto &ins : instrs_) {
         oss << names[static_cast<int>(ins.op)];

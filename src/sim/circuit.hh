@@ -34,6 +34,9 @@ enum class Op : uint8_t
     Detector,     ///< parity of referenced measurements (targets = indices)
     ObservableInclude, ///< logical observable parity contribution
     Tick,         ///< layer separator (timing annotation only)
+    FrameProbe,   ///< oracle: record the current error-frame parity over the
+                  ///< target qubits (scenario engine epoch instrumentation;
+                  ///< no physical analog, ignored by the DEM builder)
 };
 
 /** One circuit instruction. */
@@ -43,7 +46,9 @@ struct Instruction
     std::vector<uint32_t> targets;
     double arg = 0.0;   ///< noise probability for error channels
     uint32_t aux = 0;   ///< Detector: basis tag (0 = X check, 1 = Z check);
-                        ///< ObservableInclude: observable index
+                        ///< ObservableInclude: observable index;
+                        ///< FrameProbe: (index << 2) | (obs-cancel << 1)
+                        ///< | basis-is-Z
 };
 
 /** Growable instruction list with measurement/detector bookkeeping. */
@@ -55,6 +60,7 @@ class Circuit
     size_t numMeasurements() const { return num_measurements_; }
     size_t numDetectors() const { return num_detectors_; }
     size_t numObservables() const { return num_observables_; }
+    size_t numProbes() const { return num_probes_; }
 
     /** Append a gate/reset/measure/noise instruction. Returns the index of
      *  the first measurement recorded (for M ops), else 0. */
@@ -69,6 +75,21 @@ class Circuit
     void appendObservable(uint32_t observable_index,
                           std::vector<uint32_t> measurement_indices);
 
+    /**
+     * Append an oracle frame probe: the simulator records the parity of the
+     * error frames that would flip a `basis`-type measurement of the target
+     * qubits. Consumes no randomness and leaves the state untouched, so
+     * inserting probes never perturbs sampling.
+     * @param observable_cancel mark the probe as an observable contribution
+     *        for the DEM builder: error frames present at the probe cancel
+     *        out of the observable attribution (used by standalone decoder
+     *        segments so their one-round overlap replica contributes
+     *        syndrome mechanisms but no logical responsibility)
+     * @return the probe index
+     */
+    uint32_t appendFrameProbe(std::vector<uint32_t> qubits, PauliType basis,
+                              bool observable_cancel = false);
+
     /** Total count of noise-channel instructions. */
     size_t countNoiseInstructions() const;
 
@@ -81,6 +102,7 @@ class Circuit
     size_t num_measurements_ = 0;
     size_t num_detectors_ = 0;
     size_t num_observables_ = 0;
+    size_t num_probes_ = 0;
 };
 
 /** True for noise-channel operations. */

@@ -179,6 +179,19 @@ buildDem(const Circuit &circuit, PauliType obs_basis)
                 xorMerge(sz[t], sz[c]);
             }
             break;
+          case Op::FrameProbe:
+            // Observable-cancel probes fold the probed frame parity into
+            // the observable: faults *before* the probe pick up obs_id
+            // here and again at the readout, cancelling their logical
+            // attribution (standalone segments use this to strip the
+            // overlap replica of logical responsibility). Non-destructive:
+            // nothing is cleared. Plain oracle probes are inert.
+            if (ins.aux & 2u) {
+                const std::vector<uint32_t> obs_ref{obs_id};
+                for (uint32_t q : ins.targets)
+                    xorMerge((ins.aux & 1u) ? sx[q] : sz[q], obs_ref);
+            }
+            break;
           default:
             if (isNoiseOp(ins.op) && ins.arg > 0.0) {
                 SiteSensitivity snap;

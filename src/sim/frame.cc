@@ -27,6 +27,8 @@ FrameSimulator::reset(uint64_t seed)
         plane.clear();
     for (auto &obs : observables_)
         obs.clear();
+    for (auto &probe : probes_)
+        probe.clear();
     num_records_ = 0;
     num_detectors_ = 0;
 }
@@ -153,6 +155,17 @@ FrameSimulator::run()
                 observables_.resize(ins.aux + 1, BitVec(shots_));
             for (uint32_t m : ins.targets)
                 observables_[ins.aux] ^= records_[m];
+            break;
+          }
+          case Op::FrameProbe: {
+            // Oracle instrumentation: parity of the frames that would flip
+            // a basis measurement of the targets. No RNG, no state change.
+            const size_t idx = ins.aux >> 2;
+            const bool basis_z = (ins.aux & 1u) != 0;
+            if (probes_.size() <= idx)
+                probes_.resize(idx + 1, BitVec(shots_));
+            for (uint32_t q : ins.targets)
+                probes_[idx] ^= basis_z ? xf_[q] : zf_[q];
             break;
           }
           case Op::Tick:

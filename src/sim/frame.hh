@@ -85,6 +85,9 @@ class FrameSimulator
     {
         return observables_[obs];
     }
+    /** Oracle frame-probe parity bits across shots (scenario engine). */
+    const BitVec &probeBits(size_t probe) const { return probes_[probe]; }
+    size_t numProbes() const { return probes_.size(); }
 
     /** Indices of detectors that fired in one shot (O(numDetectors)). */
     std::vector<uint32_t> firedDetectors(size_t shot) const;
@@ -113,6 +116,7 @@ class FrameSimulator
     std::vector<BitVec> records_;   // per measurement (slots reused)
     std::vector<BitVec> detectors_; // per detector (slots reused)
     std::vector<BitVec> observables_;
+    std::vector<BitVec> probes_;
     size_t num_records_ = 0;
     size_t num_detectors_ = 0;
 };

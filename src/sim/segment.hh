@@ -1,0 +1,202 @@
+/**
+ * @file
+ * Epoch segment builder: generalizes the memory-experiment circuit to a
+ * *segment* of a scenario timeline. A scenario is a sequence of epochs,
+ * each with a constant (possibly deformed) patch; segments are appended to
+ * one concatenated circuit so data-qubit error frames carry across epoch
+ * boundaries, and the first-round detectors of a segment reference the
+ * previous segment's final stabilizer inferences so seams introduce no
+ * artificial detection events.
+ *
+ * Seam semantics (computeSeamPlan):
+ *  - Carried: the check exists in both patches with identical support; its
+ *    first measurement pairs with the previous segment's last inference
+ *    (an ordinary time-pair detector spanning the seam).
+ *  - CarriedPatched: a basis-type check whose support changed, but every
+ *    lost qubit is measured out in the memory basis at the seam (and is
+ *    trustworthy, i.e. not defective) and every gained qubit is freshly
+ *    initialized in the basis. The seam detector XORs in the measure-out
+ *    records; fresh qubits contribute deterministically.
+ *  - FreshDeterministic: a basis-type check supported entirely on freshly
+ *    initialized qubits; its first measurement is individually
+ *    deterministic.
+ *  - Fresh: anything else; the first measurement is a reference (no
+ *    detector), exactly like the random first round of an opposite-basis
+ *    stabilizer at experiment start.
+ * Super-stabilizers carry across a seam only when the cluster (type and
+ * member supports) is identical on both sides.
+ *
+ * The same builder runs in two modes: appending to the concatenated
+ * sampling circuit (seam references are real earlier measurements), or
+ * building a *standalone* segment for the decoder, where carried
+ * references become phantom noiseless measurements of a scratch qubit
+ * (deterministic zeros, zero DEM contribution) and non-final segments end
+ * with a noiseless logical readout so error mechanisms get correct
+ * observable attribution. Both modes emit detectors from identical code
+ * paths, so the standalone segment's detector ids are the concatenated
+ * segment's detector range shifted to zero — which is what lets the
+ * DeformedCodeCache reuse one decoder across every recurrence of a
+ * deformed shape.
+ */
+
+#ifndef SURF_SIM_SEGMENT_HH
+#define SURF_SIM_SEGMENT_HH
+
+#include <map>
+#include <set>
+
+#include "lattice/patch.hh"
+#include "sim/syndrome_circuit.hh"
+
+namespace surf {
+
+/** Placement of one segment within a scenario timeline. */
+struct SegmentSpec
+{
+    PauliType basis = PauliType::Z;
+    int rounds = 1;          ///< syndrome rounds in this epoch
+    uint64_t startRound = 0; ///< global index of the first round (the gauge
+                             ///< measurement phases follow global parity)
+    bool first = true;       ///< segment initializes the data qubits
+    bool last = true;        ///< segment ends with the data readout
+    /** Concatenated mode: emit oracle FrameProbes over the tracked
+     *  representative — an epoch-opening probe right after the seam
+     *  prologue (continuations) and an epoch-closing probe after the
+     *  rounds (before any readout noise). Per-epoch truth is then the
+     *  epoch's own-representative frame accumulation, the same accounting
+     *  its decoder uses. Probes never perturb sampling; ignored in
+     *  standalone mode. */
+    bool epochProbes = false;
+};
+
+/** How one check of the new patch connects across the seam. */
+enum class SeamLink : uint8_t
+{
+    Fresh,              ///< reference first measurement, no seam detector
+    FreshDeterministic, ///< deterministic on freshly initialized qubits
+    Carried,            ///< identical support: seam time-pair detector
+    CarriedPatched,     ///< basis-type, support patched by seam readouts
+};
+
+/**
+ * Seam classification of every check/super of the new patch against the
+ * previous epoch's patch. Identical for the concatenated and standalone
+ * builds of a segment: it is part of the segment's cache identity.
+ */
+struct SeamPlan
+{
+    bool continuation = false;     ///< false for the first epoch (no seam)
+    std::vector<SeamLink> links;   ///< per check of the new patch
+    std::vector<int> prevCheck;    ///< matched previous check index or -1
+    /** Per check: lost support qubits whose seam measure-out records patch
+     *  the seam detector (CarriedPatched only). */
+    std::vector<std::vector<Coord>> removedRefs;
+    std::vector<Coord> removed;    ///< data measured out at the seam, sorted
+    std::vector<Coord> added;      ///< data initialized at the seam, sorted
+    std::vector<int> prevSuper;    ///< per super: matched previous index or -1
+
+    /**
+     * Observable continuity (Pauli-frame tracking through deformation):
+     * the new logical representative equals the old one times a product of
+     * pre-seam basis-type operators with known measured values — inferred
+     * stabilizers, value-fresh gauges, seam measure-outs and freshly
+     * initialized qubits. The readout parity therefore shifts by the
+     * recorded signs, and the circuit XORs those records into the
+     * observable so it stays deterministic under zero noise (the physical
+     * device applies the same records as a logical frame update).
+     */
+    bool obsCarryValid = true;       ///< decomposition found (or no change)
+    std::vector<int> obsPrevChecks;  ///< prev check indices whose last
+                                     ///< records enter the observable
+    std::vector<int> obsPrevSupers;  ///< prev supers (instance records)
+    std::vector<Coord> obsRemoved;   ///< seam measure-outs entering it
+    /** Current-patch basis-type checks measured in the epoch's first
+     *  round: when the new representative is only fixed *into*
+     *  definiteness by the new code's measurements (rerouted through
+     *  re-added corners or fresh clusters), their first records complete
+     *  the frame update. */
+    std::vector<int> obsCurChecks;
+    /**
+     * The representative this epoch actually tracks. Usually the patch's
+     * stored (minimum-weight) representative; when a deformation creates
+     * additional logical degrees of freedom (e.g. a basis-bounded hole)
+     * the stored representative can belong to a *different* logical qubit
+     * — the plan then falls back to continuing the previous epoch's
+     * representative so the memory keeps tracking the stored qubit.
+     * obsCarryValid goes false only when no continuation exists at all
+     * (the engine treats that timeline as a logical loss).
+     */
+    std::vector<Coord> trackedLogical;
+};
+
+/**
+ * Classify the seam between `prev` (null for the first epoch) and `cur`.
+ *
+ * A carried reference into a previous *gauge* check is only valid when
+ * that gauge was measured in the round immediately before the seam
+ * (`seamRound - 1`); otherwise the opposite-type gauges measured since
+ * have randomized its value, and the link degrades to Fresh. Stabilizer
+ * references are always valid (they commute with everything measured).
+ *
+ * @param untrusted sites whose seam measure-out records must not be
+ *        referenced by detectors (defective qubits produce junk readouts)
+ * @param seamRound global round index the new epoch starts at (ignored
+ *        when prev is null)
+ * @param prevTracked representative the previous epoch tracked (null or
+ *        empty: the previous patch's stored representative) — thread each
+ *        seam's trackedLogical into the next call
+ */
+SeamPlan computeSeamPlan(const CodePatch *prev, const CodePatch &cur,
+                         PauliType basis, const std::set<Coord> &untrusted,
+                         uint64_t seamRound = 0,
+                         const std::vector<Coord> *prevTracked = nullptr);
+
+/** Measurement references carried across a seam (absolute indices in the
+ *  concatenated circuit). Indexed by the *previous* patch's checks/supers. */
+struct SeamState
+{
+    std::vector<size_t> lastMeas; ///< per check; SIZE_MAX = never measured
+    std::vector<std::vector<uint32_t>> superPrev; ///< last instance refs
+};
+
+/** Output of appending one segment. */
+struct SegmentResult
+{
+    size_t detBegin = 0; ///< first detector id of this segment
+    size_t detEnd = 0;   ///< one past the last detector id
+    SeamState carry;     ///< references for the next segment's seam
+};
+
+/**
+ * Append one epoch segment to `ckt`.
+ *
+ * @param qubitId shared coordinate -> qubit id map; extended in place
+ *        (data of the first epoch sorted first, then ancillas in check
+ *        order, then seam additions as they appear)
+ * @param carried previous segment's references; null when seam.continuation
+ *        is false or in phantom mode
+ * @param phantomSeam standalone mode: derive carried references from a
+ *        noisy one-round overlap replica of the previous patch (emitted
+ *        without detectors, so the detector range still mirrors the
+ *        concatenated segment, while the DEM gains the seam-straddling
+ *        mechanisms) and end non-final segments with a noiseless logical
+ *        readout (decoder-view segment for the cache)
+ * @param prevPatch previous epoch's patch; required in phantom mode for
+ *        continuation segments (source of the overlap replica)
+ */
+SegmentResult appendSegment(Circuit &ckt, std::map<Coord, uint32_t> &qubitId,
+                            const CodePatch &patch, const SegmentSpec &spec,
+                            const NoiseParams &noise, const SeamPlan &seam,
+                            const SeamState *carried, bool phantomSeam,
+                            const CodePatch *prevPatch = nullptr);
+
+/** Build the standalone (decoder-view) circuit of one segment. */
+Circuit buildStandaloneSegment(const CodePatch &patch,
+                               const SegmentSpec &spec,
+                               const NoiseParams &noise,
+                               const SeamPlan &seam,
+                               const CodePatch *prevPatch = nullptr);
+
+} // namespace surf
+
+#endif // SURF_SIM_SEGMENT_HH

@@ -1,56 +1,9 @@
 #include "sim/syndrome_circuit.hh"
 
-#include <algorithm>
-
+#include "sim/segment.hh"
 #include "util/logging.hh"
 
 namespace surf {
-
-namespace {
-
-/**
- * Canonical CNOT layer slot of a support qubit within a plaquette check
- * (the standard zigzag schedule: X checks go NE,NW,SE,SW and Z checks go
- * NE,SE,NW,SW, which keeps the crossing parity between overlapping X/Z
- * checks even). Returns -1 for non-plaquette offsets.
- */
-int
-canonicalSlot(const Check &c, Coord q)
-{
-    if (!c.ancilla)
-        return -1;
-    const Coord o = q - *c.ancilla;
-    static const Coord x_order[4] = {{1, -1}, {-1, -1}, {1, 1}, {-1, 1}};
-    static const Coord z_order[4] = {{1, -1}, {1, 1}, {-1, -1}, {-1, 1}};
-    const Coord *order = (c.type == PauliType::X) ? x_order : z_order;
-    for (int k = 0; k < 4; ++k)
-        if (order[k] == o)
-            return k;
-    return -1;
-}
-
-/**
- * True when every support qubit of the check sits on a distinct canonical
- * plaquette slot, so the check can join the interleaved layers. Merged or
- * long-range checks are measured in contiguous sequential blocks instead,
- * which is crossing-safe against every other check by construction.
- */
-bool
-isCanonical(const Check &c)
-{
-    if (!c.ancilla || c.support.size() > 4)
-        return false;
-    bool used[4] = {false, false, false, false};
-    for (const Coord &q : c.support) {
-        const int k = canonicalSlot(c, q);
-        if (k < 0 || used[k])
-            return false;
-        used[k] = true;
-    }
-    return true;
-}
-
-} // namespace
 
 BuiltCircuit
 buildMemoryCircuit(const CodePatch &patch, const MemorySpec &spec,
@@ -60,232 +13,18 @@ buildMemoryCircuit(const CodePatch &patch, const MemorySpec &spec,
     BuiltCircuit out;
     out.obsBasis = spec.basis;
     out.roundsBuilt = static_cast<size_t>(spec.rounds);
-    Circuit &ckt = out.circuit;
 
-    // Qubit ids: data first (sorted), then distinct ancillas.
-    const auto data = patch.dataList();
-    for (const Coord &q : data)
-        out.qubitId[q] = static_cast<uint32_t>(out.qubitId.size());
-    for (const auto &c : patch.checks())
-        if (c.ancilla && !out.qubitId.count(*c.ancilla))
-            out.qubitId[*c.ancilla] =
-                static_cast<uint32_t>(out.qubitId.size());
-    auto qid = [&](Coord c) { return out.qubitId.at(c); };
-    auto rate = [&](Coord site) {
-        return noise.defectiveSites.count(site) ? noise.pDefect : noise.p;
-    };
-    auto rate2 = [&](Coord a, Coord b) { return std::max(rate(a), rate(b)); };
-
-    const auto &checks = patch.checks();
-    // Effective measurement phase: basis-type gauges go first so their
-    // initial value is deterministic on the product initial state.
-    auto gauge_phase = [&](const Check &c) {
-        return (c.type == spec.basis) ? 0 : 1;
-    };
-    auto measured_in_round = [&](const Check &c, int r) {
-        if (c.role == CheckRole::Stabilizer)
-            return true;
-        return (r % 2) == gauge_phase(c);
-    };
-
-    // --- Initialization ---------------------------------------------------
-    {
-        std::vector<uint32_t> dq;
-        for (const Coord &q : data)
-            dq.push_back(qid(q));
-        ckt.append(spec.basis == PauliType::Z ? Op::ResetZ : Op::ResetX, dq);
-        for (const Coord &q : data)
-            ckt.append(spec.basis == PauliType::Z ? Op::XError : Op::ZError,
-                       {qid(q)}, rate(q));
-    }
-
-    std::vector<size_t> last_meas(checks.size(), SIZE_MAX);
-    // Current/previous instance refs per super-stabilizer.
-    std::vector<std::vector<uint32_t>> super_prev(patch.supers().size());
-
-    for (int r = 0; r < spec.rounds; ++r) {
-        ckt.append(Op::Tick, {});
-        // Previous-round measurement indices (for time-pair detectors).
-        const std::vector<size_t> prev_meas = last_meas;
-        // Data idle noise once per round.
-        for (const Coord &q : data)
-            ckt.append(Op::Depolarize1, {qid(q)}, rate(q));
-
-        // Checks measured this round, split by measurement style.
-        std::vector<int> ancilla_checks, direct_checks;
-        for (size_t i = 0; i < checks.size(); ++i) {
-            if (!measured_in_round(checks[i], r))
-                continue;
-            (checks[i].ancilla ? ancilla_checks : direct_checks)
-                .push_back(static_cast<int>(i));
-        }
-
-        // Ancilla-based extraction.
-        for (int i : ancilla_checks) {
-            const Coord a = *checks[static_cast<size_t>(i)].ancilla;
-            ckt.append(Op::ResetZ, {qid(a)});
-            ckt.append(Op::XError, {qid(a)}, rate(a));
-        }
-        for (int i : ancilla_checks) {
-            const auto &c = checks[static_cast<size_t>(i)];
-            if (c.type == PauliType::X) {
-                ckt.append(Op::H, {qid(*c.ancilla)});
-                ckt.append(Op::Depolarize1, {qid(*c.ancilla)},
-                           rate(*c.ancilla));
-            }
-        }
-        auto emit_cx = [&](const Check &c, Coord dqc) {
-            const Coord a = *c.ancilla;
-            if (c.type == PauliType::X)
-                ckt.append(Op::CX, {qid(a), qid(dqc)});
-            else
-                ckt.append(Op::CX, {qid(dqc), qid(a)});
-            ckt.append(Op::Depolarize2, {qid(a), qid(dqc)}, rate2(a, dqc));
-            if (noise.pCorrelated2q > 0.0)
-                ckt.append(Op::Depolarize2, {qid(a), qid(dqc)},
-                           noise.pCorrelated2q);
-        };
-        // Interleaved canonical layers: each support qubit occupies its
-        // canonical slot (gaps where neighbors were removed keep the
-        // crossing parity with overlapping opposite-type checks even).
-        std::vector<int> sequential_checks;
-        for (int layer = 0; layer < 4; ++layer) {
-            for (int i : ancilla_checks) {
-                const auto &c = checks[static_cast<size_t>(i)];
-                if (!isCanonical(c)) {
-                    if (layer == 0)
-                        sequential_checks.push_back(i);
-                    continue;
-                }
-                for (const Coord &dqc : c.support)
-                    if (canonicalSlot(c, dqc) == layer)
-                        emit_cx(c, dqc);
-            }
-        }
-        // Contiguous blocks for non-canonical (merged / long-range) checks.
-        for (int i : sequential_checks) {
-            const auto &c = checks[static_cast<size_t>(i)];
-            std::vector<Coord> order = c.support;
-            std::sort(order.begin(), order.end(), [](Coord p, Coord q) {
-                return std::pair(p.y, p.x) < std::pair(q.y, q.x);
-            });
-            for (const Coord &dqc : order)
-                emit_cx(c, dqc);
-        }
-        for (int i : ancilla_checks) {
-            const auto &c = checks[static_cast<size_t>(i)];
-            if (c.type == PauliType::X) {
-                ckt.append(Op::H, {qid(*c.ancilla)});
-                ckt.append(Op::Depolarize1, {qid(*c.ancilla)},
-                           rate(*c.ancilla));
-            }
-        }
-        for (int i : ancilla_checks) {
-            const Coord a = *checks[static_cast<size_t>(i)].ancilla;
-            ckt.append(Op::XError, {qid(a)}, rate(a));
-            last_meas[static_cast<size_t>(i)] =
-                ckt.append(Op::MeasureZ, {qid(a)});
-        }
-        // Direct single-qubit gauge measurements (non-destructive
-        // projective measurement of a data qubit).
-        for (int i : direct_checks) {
-            const auto &c = checks[static_cast<size_t>(i)];
-            SURF_ASSERT(c.support.size() == 1,
-                        "direct measurement needs weight-1 support");
-            const Coord q = c.support[0];
-            if (c.type == PauliType::X) {
-                ckt.append(Op::ZError, {qid(q)}, rate(q));
-                last_meas[static_cast<size_t>(i)] =
-                    ckt.append(Op::MeasureX, {qid(q)});
-            } else {
-                ckt.append(Op::XError, {qid(q)}, rate(q));
-                last_meas[static_cast<size_t>(i)] =
-                    ckt.append(Op::MeasureZ, {qid(q)});
-            }
-        }
-
-        // --- Detectors for this round ---
-        // Plain stabilizer checks: time-pair (or deterministic first round).
-        for (size_t i = 0; i < checks.size(); ++i) {
-            const auto &c = checks[i];
-            if (!measured_in_round(c, r))
-                continue;
-            const uint32_t m = static_cast<uint32_t>(last_meas[i]);
-            if (c.role == CheckRole::Stabilizer) {
-                if (prev_meas[i] == SIZE_MAX) {
-                    if (r == 0 && c.type == spec.basis)
-                        ckt.appendDetector({m}, c.type);
-                } else {
-                    ckt.appendDetector(
-                        {m, static_cast<uint32_t>(prev_meas[i])}, c.type);
-                }
-            } else if (r == 0 && c.type == spec.basis) {
-                // Basis-type gauge checks are individually deterministic
-                // on the initial product state.
-                ckt.appendDetector({m}, c.type);
-            }
-        }
-        // Super-stabilizers available this round: product vs product.
-        for (size_t s = 0; s < patch.supers().size(); ++s) {
-            const auto &ss = patch.supers()[s];
-            const int phase = (ss.type == spec.basis) ? 0 : 1;
-            if ((r % 2) != phase)
-                continue;
-            std::vector<uint32_t> refs;
-            for (int m : ss.members)
-                refs.push_back(
-                    static_cast<uint32_t>(last_meas[static_cast<size_t>(m)]));
-            if (!super_prev[s].empty()) {
-                std::vector<uint32_t> both = refs;
-                both.insert(both.end(), super_prev[s].begin(),
-                            super_prev[s].end());
-                ckt.appendDetector(std::move(both), ss.type);
-            }
-            // First basis-type instance is covered by the individual
-            // round-0 gauge detectors; first opposite instance is random.
-            super_prev[s] = std::move(refs);
-        }
-    }
-
-    // --- Final data readout ----------------------------------------------
-    std::map<Coord, uint32_t> data_meas;
-    for (const Coord &q : data) {
-        ckt.append(spec.basis == PauliType::Z ? Op::XError : Op::ZError,
-                   {qid(q)}, rate(q));
-        const size_t m = ckt.append(
-            spec.basis == PauliType::Z ? Op::MeasureZ : Op::MeasureX,
-            {qid(q)});
-        data_meas[q] = static_cast<uint32_t>(m);
-    }
-    // Final detectors: each basis-type generator compared with the parity
-    // of the final data measurements over its support.
-    for (const auto &g : patch.stabilizerGenerators()) {
-        if (g.type != spec.basis)
-            continue;
-        std::vector<uint32_t> refs;
-        for (const Coord &q : g.support)
-            refs.push_back(data_meas.at(q));
-        if (g.isSuper) {
-            const auto &prev = super_prev[static_cast<size_t>(g.sourceSuper)];
-            if (prev.empty())
-                continue; // never measured (single-round experiments)
-            refs.insert(refs.end(), prev.begin(), prev.end());
-        } else {
-            const size_t m = last_meas[static_cast<size_t>(g.sourceCheck)];
-            if (m == SIZE_MAX)
-                continue;
-            refs.push_back(static_cast<uint32_t>(m));
-        }
-        ckt.appendDetector(std::move(refs), g.type);
-    }
-
-    // Logical observable: parity of the bare logical representative.
-    const auto &logical =
-        (spec.basis == PauliType::Z) ? patch.logicalZ() : patch.logicalX();
-    std::vector<uint32_t> obs_refs;
-    for (const Coord &q : logical)
-        obs_refs.push_back(data_meas.at(q));
-    ckt.appendObservable(0, std::move(obs_refs));
+    // A memory experiment is the trivial one-epoch scenario: a single
+    // segment that both initializes and reads out, with no seam.
+    SegmentSpec seg;
+    seg.basis = spec.basis;
+    seg.rounds = spec.rounds;
+    seg.startRound = 0;
+    seg.first = true;
+    seg.last = true;
+    const SeamPlan seam = computeSeamPlan(nullptr, patch, spec.basis, {});
+    appendSegment(out.circuit, out.qubitId, patch, seg, noise, seam, nullptr,
+                  false);
     return out;
 }
 

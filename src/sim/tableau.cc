@@ -318,6 +318,7 @@ TableauSimulator::runCircuit(const Circuit &circuit, uint64_t seed,
             break;
           }
           case Op::Tick:
+          case Op::FrameProbe: // oracle instrumentation: identity channel
             break;
         }
     }

@@ -1,0 +1,459 @@
+/**
+ * @file
+ * Tests for the epoch-segmented scenario engine: zero-defect equivalence
+ * with the plain memory experiment, physical validity of seam detectors
+ * (tableau oracle: every detector of a noiseless deformation timeline is
+ * deterministic), bit-identical results across thread counts and with the
+ * DeformedCodeCache on or off, epoch-planner merging, and the sorted
+ * interval sweep of the defect sampler.
+ */
+
+#include <gtest/gtest.h>
+
+#include "baselines/strategies.hh"
+#include "decode/memory_experiment.hh"
+#include "defects/defect_sampler.hh"
+#include "endtoend/retry_risk.hh"
+#include "lattice/rotated.hh"
+#include "scenario/patch_signature.hh"
+#include "scenario/scenario_experiment.hh"
+#include "sim/frame.hh"
+#include "sim/segment.hh"
+#include "sim/tableau.hh"
+
+namespace surf {
+namespace {
+
+/** Build one epoch of a hand-made plan from a strategy outcome. */
+Epoch
+makeEpoch(Strategy strategy, int d, int delta_d, uint64_t start,
+          uint64_t rounds, const std::set<Coord> &active)
+{
+    const StrategyOutcome oc = applyStrategy(strategy, d, delta_d, active);
+    EXPECT_TRUE(oc.alive);
+    Epoch e;
+    e.startRound = start;
+    e.rounds = rounds;
+    e.deformed.patch = oc.patch;
+    e.deformed.distX = oc.distX;
+    e.deformed.distZ = oc.distZ;
+    e.deformed.alive = oc.alive;
+    e.residualDefects = oc.residualDefects;
+    e.activeSites = active;
+    e.structSig = patchSignature(oc.patch);
+    return e;
+}
+
+/** A pristine -> struck -> recovered Surf-Deformer timeline. */
+ScenarioPlan
+strikePlan(int d, int delta_d, uint64_t t1, uint64_t t2, uint64_t t3,
+           Coord center, int diameter)
+{
+    const std::set<Coord> strike = DefectSampler::regionSites(center,
+                                                             diameter);
+    ScenarioPlan plan;
+    plan.numEvents = 1;
+    plan.epochs.push_back(
+        makeEpoch(Strategy::SurfDeformer, d, delta_d, 0, t1, {}));
+    plan.epochs.push_back(
+        makeEpoch(Strategy::SurfDeformer, d, delta_d, t1, t2 - t1, strike));
+    plan.epochs.push_back(
+        makeEpoch(Strategy::SurfDeformer, d, delta_d, t2, t3 - t2, {}));
+    return plan;
+}
+
+/** Stitch a plan's segments into one concatenated circuit (the same
+ *  construction the engine performs; sampling-view noise). */
+Circuit
+stitchTimeline(const ScenarioPlan &plan, const NoiseParams &noise,
+               PauliType basis)
+{
+    Circuit ckt;
+    std::map<Coord, uint32_t> qubit_id;
+    SeamState carry;
+    const CodePatch *prev = nullptr;
+    std::vector<Coord> tracked;
+    for (size_t e = 0; e < plan.epochs.size(); ++e) {
+        const Epoch &ep = plan.epochs[e];
+        SegmentSpec spec;
+        spec.basis = basis;
+        spec.rounds = static_cast<int>(ep.rounds);
+        spec.startRound = ep.startRound;
+        spec.first = (e == 0);
+        spec.last = (e + 1 == plan.epochs.size());
+        const SeamPlan seam =
+            computeSeamPlan(prev, ep.deformed.patch, basis, ep.activeSites,
+                            ep.startRound, e ? &tracked : nullptr);
+        EXPECT_TRUE(seam.obsCarryValid);
+        tracked = seam.trackedLogical;
+        NoiseParams samp = noise;
+        samp.defectiveSites = ep.residualDefects;
+        for (const Coord &q : seam.removed)
+            if (ep.activeSites.count(q))
+                samp.defectiveSites.insert(q);
+        const SegmentResult res =
+            appendSegment(ckt, qubit_id, ep.deformed.patch, spec, samp, seam,
+                          e ? &carry : nullptr, false);
+        carry = res.carry;
+        prev = &ep.deformed.patch;
+    }
+    return ckt;
+}
+
+TEST(ScenarioEngine, ZeroDefectScenarioReproducesMemoryExperiment)
+{
+    // A defect-free scenario plans one epoch at any window split, and the
+    // engine reproduces runMemoryExperiment's exact failure count.
+    MemoryExperimentConfig mc;
+    mc.spec.rounds = 12;
+    mc.noise.p = 4e-3;
+    mc.maxShots = 6000;
+    mc.batchShots = 1024;
+    mc.targetFailures = 1u << 30;
+    mc.seed = 2024;
+    mc.threads = 2;
+    const auto memory = runMemoryExperiment(squarePatch(3), mc);
+    ASSERT_GT(memory.failures, 0u);
+
+    for (uint64_t window : {3u, 4u, 6u, 12u}) {
+        ScenarioConfig sc;
+        sc.timeline.strategy = Strategy::SurfDeformer;
+        sc.timeline.d = 3;
+        sc.timeline.deltaD = 0;
+        sc.timeline.horizonRounds = 12;
+        sc.timeline.windowRounds = window;
+        sc.eventRateScale = 0.0;
+        sc.noise.p = 4e-3;
+        sc.maxShotsPerTimeline = 6000;
+        sc.batchShots = 1024;
+        sc.seed = 2024;
+        sc.threads = 2;
+        const auto scen = runScenarioExperiment(sc);
+        ASSERT_EQ(scen.timelines.size(), 1u);
+        EXPECT_EQ(scen.timelines[0].epochs.size(), 1u)
+            << "window " << window << ": constant windows must merge";
+        EXPECT_EQ(scen.shots, memory.shots) << "window " << window;
+        EXPECT_EQ(scen.failures, memory.failures) << "window " << window;
+    }
+}
+
+TEST(ScenarioEngine, ForcedSplitSamplesIdenticalDetectorData)
+{
+    // Splitting a constant patch into segments must leave the sampled
+    // circuit bit-identical: seams are pure continuations.
+    const CodePatch patch = squarePatch(3);
+    MemorySpec spec;
+    spec.rounds = 12;
+    NoiseParams noise;
+    noise.p = 4e-3;
+    const BuiltCircuit unsplit = buildMemoryCircuit(patch, spec, noise);
+
+    ScenarioPlan plan;
+    for (uint64_t t = 0; t < 12; t += 4)
+        plan.epochs.push_back(
+            makeEpoch(Strategy::SurfDeformer, 3, 0, t, 4, {}));
+    const Circuit split = stitchTimeline(plan, noise, PauliType::Z);
+
+    ASSERT_EQ(split.numDetectors(), unsplit.circuit.numDetectors());
+    ASSERT_EQ(split.numMeasurements(), unsplit.circuit.numMeasurements());
+    FrameSimulator sim_a(unsplit.circuit, 512, 77);
+    FrameSimulator sim_b(split, 512, 77);
+    for (size_t d = 0; d < sim_a.numDetectors(); ++d)
+        ASSERT_EQ(sim_a.detectorBits(d), sim_b.detectorBits(d))
+            << "detector " << d;
+    ASSERT_EQ(sim_a.observableBits(0), sim_b.observableBits(0));
+}
+
+class NoiselessSeamDeterminism
+    : public ::testing::TestWithParam<std::tuple<int, int>>
+{
+};
+
+TEST_P(NoiselessSeamDeterminism, AllDetectorsDeterministicAcrossSeams)
+{
+    // Tableau oracle: run the full deformation timeline with *real*
+    // (random) measurement collapse and no noise. Every detector the seam
+    // logic emits must be deterministic — a single invalid seam reference
+    // fires with probability 1/2 and the test catches it within a few
+    // seeds. Covers removal seams (defect strike), patched recovery seams
+    // (measure-outs + fresh initializations) and both seam parities (odd
+    // seams carry trusted gauge references, even seams must reject them).
+    const auto [t1, t2] = GetParam();
+    const int d = 5;
+    const ScenarioPlan plan = strikePlan(
+        d, 2, static_cast<uint64_t>(t1), static_cast<uint64_t>(t2),
+        static_cast<uint64_t>(t2 + t1), {5, 5}, 2);
+    ASSERT_EQ(plan.epochs.size(), 3u);
+    ASSERT_NE(plan.epochs[0].structSig, plan.epochs[1].structSig)
+        << "the strike must actually deform the patch";
+
+    NoiseParams noiseless;
+    noiseless.p = 0.0;
+    noiseless.pDefect = 0.0;
+    for (PauliType basis : {PauliType::Z, PauliType::X}) {
+        const Circuit ckt = stitchTimeline(plan, noiseless, basis);
+        ASSERT_GT(ckt.numDetectors(), 0u);
+        for (uint64_t seed = 1; seed <= 6; ++seed) {
+            const auto run = TableauSimulator::runCircuit(ckt, seed, false);
+            for (size_t i = 0; i < run.detectors.size(); ++i)
+                ASSERT_FALSE(run.detectors[i])
+                    << "seam detector " << i << " fired without noise "
+                    << "(basis " << (basis == PauliType::Z ? 'Z' : 'X')
+                    << ", seed " << seed << ")";
+            ASSERT_FALSE(run.observables.at(0))
+                << "logical observable flipped through the deformations";
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(SeamParities, NoiselessSeamDeterminism,
+                         ::testing::Values(std::tuple(9, 17),   // odd seams
+                                           std::tuple(10, 20),  // even seams
+                                           std::tuple(9, 18))); // mixed
+
+TEST(ScenarioEngine, Q3deEnlargementSeamIsDeterministic)
+{
+    // Q3DE's response is a 2x patch enlargement: the growth seam carries
+    // the old boundary checks into the enlarged code (patched by fresh
+    // initializations) and the recovery seam measures the extra layers
+    // back out. Both must be detector-quiet without noise.
+    const std::set<Coord> strike = DefectSampler::regionSites({3, 3}, 2);
+    ScenarioPlan plan;
+    plan.epochs.push_back(makeEpoch(Strategy::Q3de, 3, 0, 0, 5, {}));
+    plan.epochs.push_back(makeEpoch(Strategy::Q3de, 3, 0, 5, 6, strike));
+    plan.epochs.push_back(makeEpoch(Strategy::Q3de, 3, 0, 11, 5, {}));
+    ASSERT_GT(plan.epochs[1].deformed.patch.numData(),
+              plan.epochs[0].deformed.patch.numData());
+
+    NoiseParams noiseless;
+    noiseless.p = 0.0;
+    noiseless.pDefect = 0.0;
+    const Circuit ckt = stitchTimeline(plan, noiseless, PauliType::Z);
+    for (uint64_t seed = 1; seed <= 4; ++seed) {
+        const auto run = TableauSimulator::runCircuit(ckt, seed, false);
+        for (size_t i = 0; i < run.detectors.size(); ++i)
+            ASSERT_FALSE(run.detectors[i]) << "detector " << i << " seed "
+                                           << seed;
+        ASSERT_FALSE(run.observables.at(0));
+    }
+}
+
+ScenarioConfig
+deformationScenarioConfig()
+{
+    ScenarioConfig sc;
+    sc.timeline.strategy = Strategy::SurfDeformer;
+    sc.timeline.d = 5;
+    sc.timeline.deltaD = 2;
+    sc.timeline.horizonRounds = 27;
+    sc.timeline.windowRounds = 9;
+    sc.noise.p = 3e-3;
+    sc.maxShotsPerTimeline = 2048;
+    sc.batchShots = 512;
+    sc.seed = 424242;
+    return sc;
+}
+
+TEST(ScenarioEngine, CacheAndThreadCountDoNotChangeResults)
+{
+    // Cache-hit vs cache-miss decodes and any thread count must be
+    // bit-identical: cache entries are pure functions of their keys and
+    // the pipeline merges worker tallies in a fixed order.
+    const ScenarioPlan plan = strikePlan(5, 2, 9, 17, 27, {5, 5}, 2);
+    ScenarioConfig cfg = deformationScenarioConfig();
+
+    uint64_t reference_failures = 0;
+    std::vector<uint64_t> reference_mism;
+    bool have_reference = false;
+    for (bool use_cache : {true, false}) {
+        for (size_t threads : {1u, 2u, 8u}) {
+            cfg.useCache = use_cache;
+            cfg.threads = threads;
+            DeformedCodeCache cache;
+            const TimelineStats tl =
+                runPlannedTimeline(plan, cfg, cache, cfg.seed, 0);
+            EXPECT_EQ(tl.shots, cfg.maxShotsPerTimeline);
+            std::vector<uint64_t> mism;
+            for (const auto &e : tl.epochs)
+                mism.push_back(e.mismatches);
+            if (!have_reference) {
+                reference_failures = tl.failures;
+                reference_mism = mism;
+                have_reference = true;
+                EXPECT_GT(tl.failures, 0u)
+                    << "scenario too quiet to validate anything";
+            } else {
+                EXPECT_EQ(tl.failures, reference_failures)
+                    << "cache=" << use_cache << " threads=" << threads;
+                EXPECT_EQ(mism, reference_mism)
+                    << "cache=" << use_cache << " threads=" << threads;
+            }
+        }
+    }
+}
+
+TEST(ScenarioEngine, SharedCacheReusesSegmentsAcrossTimelines)
+{
+    const ScenarioPlan plan = strikePlan(5, 2, 9, 17, 27, {5, 5}, 2);
+    ScenarioConfig cfg = deformationScenarioConfig();
+    cfg.maxShotsPerTimeline = 128;
+    DeformedCodeCache cache;
+    runPlannedTimeline(plan, cfg, cache, cfg.seed, 0);
+    EXPECT_EQ(cache.hits(), 0u);
+    EXPECT_EQ(cache.misses(), 3u);
+    // The same timeline again: every segment is already decode-ready.
+    runPlannedTimeline(plan, cfg, cache, cfg.seed + 1, 0);
+    EXPECT_EQ(cache.hits(), 3u);
+    EXPECT_EQ(cache.misses(), 3u);
+}
+
+TEST(EpochPlanner, ConstantWindowsMergeAndCapsSplit)
+{
+    EpochPlannerConfig cfg;
+    cfg.strategy = Strategy::SurfDeformer;
+    cfg.d = 3;
+    cfg.deltaD = 0;
+    cfg.horizonRounds = 24;
+    cfg.windowRounds = 4;
+
+    const ScenarioPlan quiet = planEpochs(cfg, {});
+    ASSERT_EQ(quiet.epochs.size(), 1u);
+    EXPECT_EQ(quiet.epochs[0].rounds, 24u);
+
+    cfg.forceEpochBoundaries = true;
+    const ScenarioPlan forced = planEpochs(cfg, {});
+    EXPECT_EQ(forced.epochs.size(), 6u);
+    cfg.forceEpochBoundaries = false;
+
+    // Cap limits merging: windows of 4 accumulate to 8 (a third window
+    // would exceed 10), giving three 8-round epochs.
+    cfg.maxEpochRounds = 10;
+    const ScenarioPlan capped = planEpochs(cfg, {});
+    ASSERT_EQ(capped.epochs.size(), 3u);
+    EXPECT_EQ(capped.epochs[0].rounds, 8u);
+    EXPECT_EQ(capped.epochs[2].startRound, 16u);
+    // A window longer than the cap is split after planning: 10 + 10 + 4.
+    cfg.windowRounds = 24;
+    const ScenarioPlan split = planEpochs(cfg, {});
+    ASSERT_EQ(split.epochs.size(), 3u);
+    EXPECT_EQ(split.epochs[0].rounds, 10u);
+    EXPECT_EQ(split.epochs[2].startRound, 20u);
+    EXPECT_EQ(split.epochs[2].rounds, 4u);
+    cfg.windowRounds = 4;
+    cfg.maxEpochRounds = 0;
+
+    // One mid-timeline event: pristine / deformed / pristine.
+    DefectEvent ev;
+    ev.startCycle = 8;
+    ev.endCycle = 16;
+    ev.center = {3, 3};
+    ev.sites = DefectSampler::regionSites({3, 3}, 2);
+    const ScenarioPlan struck = planEpochs(cfg, {ev});
+    ASSERT_EQ(struck.epochs.size(), 3u);
+    EXPECT_EQ(struck.epochs[0].rounds, 8u);
+    EXPECT_EQ(struck.epochs[1].startRound, 8u);
+    EXPECT_EQ(struck.epochs[1].rounds, 8u);
+    EXPECT_EQ(struck.epochs[2].startRound, 16u);
+    EXPECT_NE(struck.epochs[0].structSig, struck.epochs[1].structSig);
+    EXPECT_EQ(struck.epochs[0].structSig, struck.epochs[2].structSig);
+}
+
+TEST(DefectSweep, MatchesLinearScanReference)
+{
+    // Random events with varying durations and overlaps; the sweep must
+    // pin the old per-query linear scan exactly at every query point.
+    Rng rng(1234);
+    std::vector<DefectEvent> events;
+    for (int i = 0; i < 200; ++i) {
+        DefectEvent ev;
+        ev.startCycle = rng.below(5000);
+        ev.endCycle = ev.startCycle + 1 + rng.below(800);
+        ev.center = {static_cast<int>(rng.below(19)),
+                     static_cast<int>(rng.below(19))};
+        ev.sites = DefectSampler::regionSites(ev.center,
+                                              1 + static_cast<int>(
+                                                      rng.below(4)));
+        events.push_back(std::move(ev));
+    }
+    auto reference = [&](uint64_t cycle) {
+        std::set<Coord> active;
+        for (const auto &ev : events)
+            if (ev.startCycle <= cycle && cycle < ev.endCycle)
+                active.insert(ev.sites.begin(), ev.sites.end());
+        return active;
+    };
+
+    ActiveDefectSweep sweep(events);
+    for (uint64_t cycle = 0; cycle <= 6200; cycle += 37)
+        ASSERT_EQ(sweep.activeAt(cycle), reference(cycle))
+            << "cycle " << cycle;
+
+    // rewind() restarts the monotone scan; the static one-shot helper
+    // agrees too.
+    sweep.rewind();
+    EXPECT_EQ(sweep.activeAt(2500), reference(2500));
+    EXPECT_EQ(DefectSampler::activeSites(events, 2500), reference(2500));
+}
+
+TEST(RetryRisk, ScenarioCrossCheckProducesBothSides)
+{
+    // The measured cross-check mode runs real strategy-reactive timelines
+    // and evaluates the analytic distance-loss model on the identical
+    // workload; both sides must come out as sane probabilities.
+    ScenarioCrossCheckConfig cc;
+    cc.d = 5;
+    cc.deltaD = 2;
+    cc.defectModel.durationSec = 20e-6;
+    cc.defectModel.regionDiameter = 2;
+    cc.eventRateScale = 100000.0;
+    cc.horizonRounds = 60;
+    cc.windowRounds = 20;
+    cc.numTimelines = 2;
+    cc.shotsPerTimeline = 64;
+    cc.noiseP = 3e-3;
+    const ScenarioCrossCheck check = crossCheckRetryRisk(cc);
+    EXPECT_EQ(check.shots, 128u);
+    EXPECT_GT(check.totalEpochs, 2u);
+    EXPECT_GT(check.measuredPShot, 0.0);
+    EXPECT_LT(check.measuredPShot, 1.0);
+    EXPECT_GT(check.analyticPShot, 0.0);
+    EXPECT_LT(check.analyticPShot, 1.0);
+    EXPECT_GT(check.expectedEvents, 0.0);
+}
+
+TEST(ScenarioEngine, SampledTimelinesRunEndToEnd)
+{
+    // Full path: event sampling -> planning -> stitched simulation ->
+    // cached decode, across several timelines sharing one cache.
+    ScenarioConfig sc;
+    sc.timeline.strategy = Strategy::SurfDeformer;
+    sc.timeline.d = 5;
+    sc.timeline.deltaD = 2;
+    sc.timeline.horizonRounds = 60;
+    sc.timeline.windowRounds = 10;
+    // Quantized epoch lengths: quiet stretches of different timelines
+    // become cache-equal 10-round segments.
+    sc.timeline.maxEpochRounds = 10;
+    sc.defectModel.durationSec = 20e-6; // 20 rounds at 1 us/cycle
+    sc.defectModel.regionDiameter = 2;
+    sc.eventRateScale = 150000.0;
+    sc.numTimelines = 4;
+    sc.noise.p = 2e-3;
+    sc.maxShotsPerTimeline = 256;
+    sc.batchShots = 128;
+    sc.seed = 99;
+    const auto res = runScenarioExperiment(sc);
+    EXPECT_EQ(res.timelines.size(), 4u);
+    EXPECT_EQ(res.shots, 4u * 256u);
+    EXPECT_GT(res.totalEpochs, 4u)
+        << "event rate too low: no deformation epochs were exercised";
+    EXPECT_GT(res.cacheHits, 0u);
+    // Bit-identical across thread counts through the public API as well.
+    sc.threads = 8;
+    const auto res8 = runScenarioExperiment(sc);
+    EXPECT_EQ(res8.failures, res.failures);
+    EXPECT_EQ(res8.totalEpochs, res.totalEpochs);
+}
+
+} // namespace
+} // namespace surf
