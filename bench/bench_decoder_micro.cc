@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Decoder-backend micro-bench: dense (precomputed all-pairs tables) vs
+ * sparse (on-demand truncated Dijkstra) MWPM across distances. Measures
+ * the cold path every new deformed-patch shape pays — decoding-graph
+ * construction — and steady-state decode throughput, and verifies that
+ * both backends predict identically on every sampled shot in the exact
+ * regime (defect count <= truncation + 1). Emits BENCH_decoder.json.
+ *
+ * Flags: --scale=S (shot budget), --dmax=N (default 13), --json=DIR.
+ * Exits non-zero if the exact-mode sparse decoder (truncation SIZE_MAX,
+ * bit-identity guaranteed) disagrees with dense on any shot, so CI
+ * smoke runs double as an equivalence check. The default sparse config
+ * (truncated, radius-bounded) is timed as well and its agreement rate
+ * reported — it may differ from dense only on equal-weight ties.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+
+#include "bench_util.hh"
+#include "decode/mwpm.hh"
+#include "lattice/rotated.hh"
+#include "sim/dem.hh"
+#include "sim/frame.hh"
+#include "sim/syndrome_circuit.hh"
+
+using namespace surf;
+using namespace surf::benchutil;
+
+namespace {
+
+double
+secondsSince(std::chrono::steady_clock::time_point t0)
+{
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         t0)
+        .count();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const double s = scale(argc, argv);
+    const int dmax = static_cast<int>(flagValue(argc, argv, "dmax", 13));
+    const size_t shots = std::max<size_t>(
+        64, static_cast<size_t>(flagValue(argc, argv, "shots", 1024) * s));
+    const int build_reps = 5;
+    JsonReport report(argc, argv, "decoder");
+
+    header("MWPM backends: dense APSP tables vs sparse on-demand Dijkstra");
+    std::printf("%zu shots per distance, %d build reps, p=2e-3\n\n", shots,
+                build_reps);
+    std::printf("  d    nodes  build dense  build sparse   speedup"
+                "   decode dense   decode sparse\n");
+
+    bool all_agree = true;
+    for (int d = 3; d <= dmax; d += 2) {
+        MemorySpec spec;
+        spec.rounds = d;
+        NoiseParams noise;
+        noise.p = 2e-3;
+        const BuiltCircuit built =
+            buildMemoryCircuit(squarePatch(d), spec, noise);
+        const auto dem = buildDem(built.circuit, PauliType::Z);
+
+        auto t0 = std::chrono::steady_clock::now();
+        for (int r = 0; r < build_reps; ++r) {
+            const MwpmDecoder probe(dem, 1, nullptr, MatchingBackend::Dense);
+            (void)probe;
+        }
+        const double dense_build = secondsSince(t0) / build_reps;
+        t0 = std::chrono::steady_clock::now();
+        for (int r = 0; r < build_reps; ++r) {
+            const MwpmDecoder probe(dem, 1, nullptr, MatchingBackend::Sparse);
+            (void)probe;
+        }
+        const double sparse_build = secondsSince(t0) / build_reps;
+
+        const MwpmDecoder dense(dem, 1, nullptr, MatchingBackend::Dense);
+        const MwpmDecoder sparse(dem, 1, nullptr, MatchingBackend::Sparse);
+        MwpmDecoder exact(dem, 1, nullptr, MatchingBackend::Sparse);
+        exact.setTruncation(SIZE_MAX);
+        FrameSimulator sim(built.circuit, shots, 20240731);
+        const SparseSyndromes syndromes = sim.sparseFiredDetectors();
+        MwpmScratch scratch;
+
+        std::vector<uint8_t> dense_pred(shots), sparse_pred(shots);
+        t0 = std::chrono::steady_clock::now();
+        for (size_t i = 0; i < shots; ++i)
+            dense_pred[i] =
+                dense.decode(syndromes.data(i), syndromes.count(i), scratch);
+        const double dense_decode = secondsSince(t0);
+        t0 = std::chrono::steady_clock::now();
+        for (size_t i = 0; i < shots; ++i)
+            sparse_pred[i] =
+                sparse.decode(syndromes.data(i), syndromes.count(i), scratch);
+        const double sparse_decode = secondsSince(t0);
+
+        size_t exact_disagree = 0, default_disagree = 0;
+        for (size_t i = 0; i < shots; ++i) {
+            exact_disagree +=
+                dense_pred[i] != exact.decode(syndromes.data(i),
+                                              syndromes.count(i), scratch);
+            default_disagree += dense_pred[i] != sparse_pred[i];
+        }
+        if (exact_disagree)
+            all_agree = false;
+
+        const size_t nodes = dense.graph().numNodes();
+        std::printf("%3d  %7zu  %8.3f ms  %9.4f ms  %7.1fx  %9.0f sh/s"
+                    "  %9.0f sh/s%s\n",
+                    d, nodes, 1e3 * dense_build, 1e3 * sparse_build,
+                    dense_build / std::max(1e-9, sparse_build),
+                    shots / std::max(1e-9, dense_decode),
+                    shots / std::max(1e-9, sparse_decode),
+                    exact_disagree ? "  DISAGREE (BUG)" : "");
+
+        const std::string suffix = "_d" + std::to_string(d);
+        report.metric("build_ms_dense" + suffix, 1e3 * dense_build);
+        report.metric("build_ms_sparse" + suffix, 1e3 * sparse_build);
+        report.metric("build_speedup" + suffix,
+                      dense_build / std::max(1e-9, sparse_build));
+        report.metric("decode_shots_per_sec_dense" + suffix,
+                      shots / std::max(1e-9, dense_decode));
+        report.metric("decode_shots_per_sec_sparse" + suffix,
+                      shots / std::max(1e-9, sparse_decode));
+        report.metric("exact_disagreements" + suffix,
+                      static_cast<double>(exact_disagree));
+        report.metric("default_agreement_rate" + suffix,
+                      1.0 - static_cast<double>(default_disagree) / shots);
+    }
+    report.metric("backends_agree", all_agree ? 1.0 : 0.0);
+    std::printf("\nbackends agree on every exact-regime shot: %s\n",
+                all_agree ? "yes" : "NO (BUG)");
+    return all_agree ? 0 : 1;
+}

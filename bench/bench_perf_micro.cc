@@ -107,29 +107,13 @@ BENCHMARK(BM_DemExtraction)->Arg(3)->Arg(5)->Arg(9);
 void
 BM_MwpmDecode(benchmark::State &state)
 {
+    // Decode throughput per backend: args are (distance, backend).
     const int d = static_cast<int>(state.range(0));
+    const auto backend = state.range(1) ? MatchingBackend::Sparse
+                                        : MatchingBackend::Dense;
     const auto built = standardCircuit(d);
     const auto dem = buildDem(built.circuit, PauliType::Z);
-    const MwpmDecoder decoder(dem, 1);
-    FrameSimulator sim(built.circuit, 256, 7);
-    size_t shot = 0;
-    for (auto _ : state) {
-        const auto fired = sim.firedDetectors(shot % 256);
-        benchmark::DoNotOptimize(decoder.decode(fired));
-        ++shot;
-    }
-}
-BENCHMARK(BM_MwpmDecode)->Arg(3)->Arg(5)->Arg(9);
-
-void
-BM_MwpmDecodeScratch(benchmark::State &state)
-{
-    // Same decodes as BM_MwpmDecode with a reused per-thread scratch:
-    // isolates the defect-list/weight-matrix allocation cost per decode.
-    const int d = static_cast<int>(state.range(0));
-    const auto built = standardCircuit(d);
-    const auto dem = buildDem(built.circuit, PauliType::Z);
-    const MwpmDecoder decoder(dem, 1);
+    const MwpmDecoder decoder(dem, 1, nullptr, backend);
     FrameSimulator sim(built.circuit, 256, 7);
     const SparseSyndromes syndromes = sim.sparseFiredDetectors();
     MwpmScratch scratch;
@@ -141,7 +125,40 @@ BM_MwpmDecodeScratch(benchmark::State &state)
         ++shot;
     }
 }
-BENCHMARK(BM_MwpmDecodeScratch)->Arg(3)->Arg(5)->Arg(9);
+BENCHMARK(BM_MwpmDecode)
+    ->Args({3, 0})
+    ->Args({5, 0})
+    ->Args({9, 0})
+    ->Args({3, 1})
+    ->Args({5, 1})
+    ->Args({9, 1});
+
+void
+BM_DecodingGraphBuild(benchmark::State &state)
+{
+    // Cold-path decoder-graph construction per backend: args are
+    // (distance, backend). This is the cost every new deformed-patch
+    // shape pays before its first decoded shot; Sparse keeps only the
+    // CSR adjacency while Dense builds the all-pairs tables.
+    const int d = static_cast<int>(state.range(0));
+    const auto backend = state.range(1) ? MatchingBackend::Sparse
+                                        : MatchingBackend::Dense;
+    const auto built = standardCircuit(d);
+    const auto dem = buildDem(built.circuit, PauliType::Z);
+    for (auto _ : state) {
+        const MwpmDecoder decoder(dem, 1, nullptr, backend);
+        benchmark::DoNotOptimize(decoder.graph().numNodes());
+    }
+}
+BENCHMARK(BM_DecodingGraphBuild)
+    ->Args({3, 0})
+    ->Args({5, 0})
+    ->Args({9, 0})
+    ->Args({13, 0})
+    ->Args({3, 1})
+    ->Args({5, 1})
+    ->Args({9, 1})
+    ->Args({13, 1});
 
 void
 BM_PipelineDecode(benchmark::State &state)

@@ -8,7 +8,9 @@
  * for both modes, the cache hit rate, and the end-to-end logical error,
  * into BENCH_scenario.json.
  *
- * Flags: --scale=S (Monte-Carlo budget), --d=N, --timelines=N, --json=DIR
+ * Flags: --scale=S (Monte-Carlo budget), --d=N, --timelines=N,
+ * --cache_mb=M (bound the shared cache to M megabytes; 0 = unbounded),
+ * --json=DIR
  */
 
 #include <chrono>
@@ -98,6 +100,10 @@ main(int argc, char **argv)
     // first (cold) pass and a second pass against the populated cache —
     // the steady state of any real sweep.
     DeformedCodeCache shared_cache;
+    const auto cache_mb = static_cast<size_t>(
+        flagValue(argc, argv, "cache_mb", 0));
+    if (cache_mb)
+        shared_cache.setBudget(cache_mb << 20, 0);
     cfg.useCache = true;
     cfg.cache = &shared_cache;
     const Timed cold = run(cfg);
@@ -125,7 +131,15 @@ main(int argc, char **argv)
                 100.0 * cached.result.cacheHits /
                     std::max<uint64_t>(1, cached.result.cacheHits +
                                               cached.result.cacheMisses));
-    std::printf("\nspeedup %.1fx; identical results: %s (%lu failures / "
+    std::printf("\ncache: %zu entries, %.1f MiB resident, %lu hits / "
+                "%lu misses / %lu evictions, %.2f s building\n",
+                shared_cache.size(),
+                static_cast<double>(shared_cache.bytesUsed()) / (1 << 20),
+                static_cast<unsigned long>(shared_cache.hits()),
+                static_cast<unsigned long>(shared_cache.misses()),
+                static_cast<unsigned long>(shared_cache.evictions()),
+                shared_cache.buildSeconds());
+    std::printf("speedup %.1fx; identical results: %s (%lu failures / "
                 "%lu shots, p_round %.3e)\n",
                 cached_eps / std::max(1e-9, uncached_eps),
                 cached.result.failures == uncached.result.failures
@@ -141,6 +155,14 @@ main(int argc, char **argv)
                   cold.result.totalEpochs / std::max(1e-9, cold.seconds));
     report.metric("cache_speedup", cached_eps / std::max(1e-9, uncached_eps));
     report.metric("cache_hit_rate", hit_rate);
+    report.metric("cache_hits", static_cast<double>(shared_cache.hits()));
+    report.metric("cache_misses",
+                  static_cast<double>(shared_cache.misses()));
+    report.metric("cache_evictions",
+                  static_cast<double>(shared_cache.evictions()));
+    report.metric("cache_entries", static_cast<double>(shared_cache.size()));
+    report.metric("cache_resident_mib",
+                  static_cast<double>(shared_cache.bytesUsed()) / (1 << 20));
     report.metric("total_epochs", static_cast<double>(
                                       cached.result.totalEpochs));
     report.metric("dead_timelines", static_cast<double>(

@@ -365,15 +365,17 @@ class MaxWeightMatcher
 
 } // namespace
 
-std::vector<int>
-minWeightPerfectMatching(int n, const std::vector<int64_t> &w)
+bool
+minWeightPerfectMatching(int n, const std::vector<int64_t> &w,
+                         std::vector<int> &mate)
 {
     SURF_ASSERT(n >= 0 && w.size() == static_cast<size_t>(n) * n,
                 "weight matrix size mismatch");
+    mate.clear();
     if (n == 0)
-        return {};
+        return true;
     if (n % 2 != 0)
-        return {};
+        return false;
     // Convert min-weight to max-weight with a large offset; forbidden
     // pairs keep weight 0 (the matcher ignores w == 0 edges).
     int64_t max_w = 1;
@@ -390,12 +392,21 @@ minWeightPerfectMatching(int n, const std::vector<int64_t> &w)
             matcher.setWeight(u, v, offset - x);
         }
     }
-    auto [total, mate] = matcher.solve();
+    auto [total, solved] = matcher.solve();
     (void)total;
     // Perfect matching check.
     for (int u = 0; u < n; ++u)
-        if (mate[u] < 0)
-            return {};
+        if (solved[u] < 0)
+            return false;
+    mate = std::move(solved);
+    return true;
+}
+
+std::vector<int>
+minWeightPerfectMatching(int n, const std::vector<int64_t> &w)
+{
+    std::vector<int> mate;
+    minWeightPerfectMatching(n, w, mate);
     return mate;
 }
 

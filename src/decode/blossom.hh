@@ -27,6 +27,14 @@ namespace surf {
 std::vector<int> minWeightPerfectMatching(int n,
                                           const std::vector<int64_t> &w);
 
+/**
+ * Scratch-output variant for decode loops: writes mate[v] into the
+ * caller's reusable buffer (resized to n) instead of allocating one.
+ * @return true iff a perfect matching exists (mate is cleared when not)
+ */
+bool minWeightPerfectMatching(int n, const std::vector<int64_t> &w,
+                              std::vector<int> &mate);
+
 /** Sentinel weight marking a forbidden pair. */
 inline constexpr int64_t kMatchForbidden = INT64_C(1) << 42;
 

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
+#include <cstring>
 
 #include "util/logging.hh"
 #include "util/thread_pool.hh"
@@ -20,8 +22,21 @@ edgeWeight(double p)
 
 } // namespace
 
+MatchingBackend
+defaultMatchingBackend()
+{
+    static const MatchingBackend def = [] {
+        const char *env = std::getenv("SURF_MATCHING_BACKEND");
+        if (env && std::strcmp(env, "dense") == 0)
+            return MatchingBackend::Dense;
+        return MatchingBackend::Sparse;
+    }();
+    return def;
+}
+
 DecodingGraph::DecodingGraph(const DetectorErrorModel &dem, uint8_t tag,
-                             ThreadPool *pool)
+                             ThreadPool *pool, MatchingBackend backend)
+    : backend_(backend)
 {
     local_of_.assign(dem.numDetectors, -1);
     for (uint32_t d = 0; d < dem.numDetectors; ++d) {
@@ -31,7 +46,18 @@ DecodingGraph::DecodingGraph(const DetectorErrorModel &dem, uint8_t tag,
         }
     }
     const int bnode = boundaryNode();
-    adj_.assign(numNodes() + 1, {});
+    // Build per-node adjacency in DEM edge order (both directions of an
+    // edge appended as encountered), then flatten to CSR. The neighbor
+    // order fixes the Dijkstra relaxation order, which both backends
+    // share — identical witnesses for tie-broken shortest paths.
+    struct Dir
+    {
+        int to;
+        double w;
+        bool obs;
+    };
+    std::vector<std::vector<Dir>> adj(numNodes() + 1);
+    size_t n_dirs = 0;
     for (const DemEdge &e : dem.edges[tag]) {
         const int a = (e.a < 0) ? bnode : local_of_[static_cast<size_t>(e.a)];
         const int b = (e.b < 0) ? bnode : local_of_[static_cast<size_t>(e.b)];
@@ -39,10 +65,38 @@ DecodingGraph::DecodingGraph(const DetectorErrorModel &dem, uint8_t tag,
         if (a == b)
             continue;
         const double w = edgeWeight(e.p);
-        adj_[static_cast<size_t>(a)].push_back({b, w, e.flipsObs});
-        adj_[static_cast<size_t>(b)].push_back({a, w, e.flipsObs});
+        adj[static_cast<size_t>(a)].push_back({b, w, e.flipsObs});
+        adj[static_cast<size_t>(b)].push_back({a, w, e.flipsObs});
+        n_dirs += 2;
     }
-    buildApsp(pool);
+    csr_off_.resize(numNodes() + 2);
+    csr_to_.resize(n_dirs);
+    csr_w_.resize(n_dirs);
+    csr_obs_.resize(n_dirs);
+    uint32_t off = 0;
+    for (size_t v = 0; v <= numNodes(); ++v) {
+        csr_off_[v] = off;
+        for (const Dir &d : adj[v]) {
+            csr_to_[off] = d.to;
+            csr_w_[off] = d.w;
+            csr_obs_[off] = d.obs ? 1 : 0;
+            ++off;
+        }
+    }
+    csr_off_[numNodes() + 1] = off;
+
+    if (backend_ == MatchingBackend::Dense)
+        buildApsp(pool);
+    else
+        rows_ = std::vector<std::atomic<const Row *>>(numNodes());
+}
+
+DecodingGraph::~DecodingGraph()
+{
+    for (auto &slot : rows_)
+        delete slot.load(std::memory_order_relaxed);
+    for (const Row *r : retired_)
+        delete r;
 }
 
 int
@@ -52,6 +106,122 @@ DecodingGraph::localOf(uint32_t global_det) const
     return local_of_[global_det];
 }
 
+size_t
+DecodingGraph::memoryBytes() const
+{
+    const size_t row_bytes =
+        (numNodes() + 1) * (sizeof(float) + 1) + sizeof(Row);
+    return global_of_.capacity() * sizeof(uint32_t) +
+           local_of_.capacity() * sizeof(int) +
+           csr_off_.capacity() * sizeof(uint32_t) +
+           csr_to_.capacity() * sizeof(int) +
+           csr_w_.capacity() * sizeof(double) + csr_obs_.capacity() +
+           dist_.capacity() * sizeof(float) + obs_.capacity() +
+           rows_.size() * sizeof(rows_[0]) +
+           rows_built_.load(std::memory_order_relaxed) * row_bytes;
+}
+
+void
+DecodingGraph::search(int src, DijkstraScratch &sc, double cutoff,
+                      Row *record, bool bound_at_boundary) const
+{
+    // Quantized matrix weights tie at 1/1024 granularity; pairs whose
+    // true distance sits within the margin of the radius bound must stay
+    // inside a bounded row, because an integer-tied edge can still
+    // appear in an optimal matching.
+    constexpr double kTieMargin = 8.0 / 1024.0;
+    const size_t n = numNodes() + 1;
+    sc.bind(n);
+    if (++sc.cur == 0) {
+        std::fill(sc.gen.begin(), sc.gen.end(), 0);
+        sc.cur = 1;
+    }
+    const int bnode = boundaryNode();
+    using Item = std::pair<double, int>;
+    const auto by_dist = std::greater<Item>();
+    auto &heap = sc.heap;
+    heap.clear();
+    sc.dist[static_cast<size_t>(src)] = 0.0;
+    sc.par[static_cast<size_t>(src)] = 0;
+    sc.gen[static_cast<size_t>(src)] = sc.cur;
+    heap.push_back({0.0, src});
+    while (!heap.empty()) {
+        std::pop_heap(heap.begin(), heap.end(), by_dist);
+        const auto [dv, v] = heap.back();
+        heap.pop_back();
+        if (dv > cutoff)
+            break; // heap min beyond the radius: nothing closer remains
+        const auto vi = static_cast<size_t>(v);
+        if (dv > sc.dist[vi])
+            continue; // stale entry: v already settled closer
+        if (record) {
+            record->dist[vi] = static_cast<float>(sc.dist[vi]);
+            record->par[vi] = sc.par[vi];
+            if (v == bnode && bound_at_boundary)
+                cutoff = 2.0 * dv + kTieMargin;
+        }
+        const uint32_t b0 = csr_off_[vi], b1 = csr_off_[vi + 1];
+        for (uint32_t i = b0; i < b1; ++i) {
+            const auto to = static_cast<size_t>(csr_to_[i]);
+            const double nd = dv + csr_w_[i];
+            if (nd > cutoff)
+                continue; // positive weights: can't help nodes in radius
+            if (sc.gen[to] != sc.cur || nd < sc.dist[to] - 1e-12) {
+                sc.gen[to] = sc.cur;
+                sc.dist[to] = nd;
+                sc.par[to] = sc.par[vi] ^ csr_obs_[i];
+                heap.push_back({nd, csr_to_[i]});
+                std::push_heap(heap.begin(), heap.end(), by_dist);
+            }
+        }
+    }
+    if (record)
+        record->radius = cutoff;
+}
+
+DecodingGraph::Row *
+DecodingGraph::buildRow(int src, bool exact, DijkstraScratch &sc) const
+{
+    auto *row = new Row;
+    row->dist.assign(numNodes() + 1,
+                     std::numeric_limits<float>::infinity());
+    row->par.assign(numNodes() + 1, 0);
+    search(src, sc, kInf, row, !exact);
+    return row;
+}
+
+const DecodingGraph::Row &
+DecodingGraph::row(int src, bool exact, DijkstraScratch &sc) const
+{
+    SURF_ASSERT(backend_ == MatchingBackend::Sparse &&
+                    static_cast<size_t>(src) < rows_.size(),
+                "row queries are a Sparse-backend defect-node facility");
+    auto &slot = rows_[static_cast<size_t>(src)];
+    const Row *cur = slot.load(std::memory_order_acquire);
+    if (cur && (!exact || cur->radius == kInf))
+        return *cur;
+    Row *fresh = buildRow(src, exact, sc);
+    for (;;) {
+        if (slot.compare_exchange_strong(cur, fresh,
+                                         std::memory_order_acq_rel,
+                                         std::memory_order_acquire)) {
+            rows_built_.fetch_add(1, std::memory_order_relaxed);
+            if (cur) {
+                // Upgraded a truncated row: the old one may still be in
+                // use by another worker — retire, free with the graph.
+                std::lock_guard<std::mutex> lock(retired_mutex_);
+                retired_.push_back(cur);
+            }
+            return *fresh;
+        }
+        // Lost the race; `cur` now holds the winner.
+        if (cur && (!exact || cur->radius == kInf)) {
+            delete fresh;
+            return *cur;
+        }
+    }
+}
+
 void
 DecodingGraph::buildApsp(ThreadPool *pool)
 {
@@ -59,62 +229,19 @@ DecodingGraph::buildApsp(ThreadPool *pool)
     dist_.assign(n * (n + 1) / 2, std::numeric_limits<float>::infinity());
     obs_.assign(n * (n + 1) / 2, 0);
 
-    // Dijkstra from every source. All per-source state is hoisted out of
-    // the loop and held per worker: the binary heap keeps its capacity,
-    // and a generation counter marks which entries of d/par belong to the
-    // current source, replacing the O(n) re-initialisation fills per
-    // source. Each source fills its own triangular row, so rows can run
-    // on any worker with an identical result.
-    using Item = std::pair<double, int>;
-    struct Scratch
-    {
-        std::vector<Item> heap;
-        std::vector<double> d;
-        std::vector<uint8_t> par;
-        std::vector<uint32_t> gen;
-        uint32_t cur = 0;
-    };
-    std::vector<Scratch> scratch(pool ? pool->size() : 1);
-    for (Scratch &sc : scratch) {
-        sc.d.resize(n);
-        sc.par.resize(n);
-        sc.gen.assign(n, 0);
-    }
-    const auto by_dist = std::greater<Item>();
+    // Exhaustive Dijkstra from every source through the shared kernel.
+    // Each source fills its own triangular row, so rows can run on any
+    // worker with an identical result.
+    std::vector<DijkstraScratch> scratch(pool ? pool->size() : 1);
     auto fillRow = [&](size_t src, size_t worker) {
-        Scratch &sc = scratch[worker];
-        auto &heap = sc.heap;
-        ++sc.cur;
-        heap.clear();
-        sc.d[src] = 0.0;
-        sc.par[src] = 0;
-        sc.gen[src] = sc.cur;
-        heap.push_back({0.0, static_cast<int>(src)});
-        while (!heap.empty()) {
-            std::pop_heap(heap.begin(), heap.end(), by_dist);
-            const auto [dv, v] = heap.back();
-            heap.pop_back();
-            if (dv > sc.d[static_cast<size_t>(v)])
-                continue;
-            for (const Edge &e : adj_[static_cast<size_t>(v)]) {
-                const auto to = static_cast<size_t>(e.to);
-                const double nd = dv + e.w;
-                if (sc.gen[to] != sc.cur || nd < sc.d[to] - 1e-12) {
-                    sc.gen[to] = sc.cur;
-                    sc.d[to] = nd;
-                    sc.par[to] =
-                        sc.par[static_cast<size_t>(v)] ^ (e.obs ? 1 : 0);
-                    heap.push_back({nd, e.to});
-                    std::push_heap(heap.begin(), heap.end(), by_dist);
-                }
-            }
-        }
+        DijkstraScratch &sc = scratch[worker];
+        search(static_cast<int>(src), sc, kInf, nullptr, false);
         for (size_t t = src; t < n; ++t) {
             if (sc.gen[t] != sc.cur)
                 continue; // unreachable: stays at infinity
-            const size_t idx = triIndex(static_cast<int>(src),
-                                        static_cast<int>(t));
-            dist_[idx] = static_cast<float>(sc.d[t]);
+            const size_t idx =
+                triIndex(static_cast<int>(src), static_cast<int>(t));
+            dist_[idx] = static_cast<float>(sc.dist[t]);
             obs_[idx] = sc.par[t];
         }
     };

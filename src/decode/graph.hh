@@ -1,15 +1,33 @@
 /**
  * @file
  * Matching graph for one CSS basis: detector nodes plus a virtual
- * boundary node, edge weights w = log((1-p)/p), and all-pairs shortest
- * paths with the observable parity accumulated along each shortest path.
+ * boundary node with edge weights w = log((1-p)/p), stored as a CSR
+ * adjacency. Two query backends answer shortest-path questions:
+ *
+ *  - Sparse (default): no precompute. Distances and observable parities
+ *    are answered by lazy Dijkstra searches from each fired defect,
+ *    truncated to the nearest targets, using caller-owned epoch-stamped
+ *    scratch state (reset is O(1), steady state allocates nothing).
+ *    Graph construction is O(edges), so cold decoder builds are cheap.
+ *  - Dense: the historical all-pairs shortest-path tables (flat
+ *    triangular distance + observable-parity arrays). O(n^2 log n)
+ *    build, O(1) queries. Kept for equivalence testing and for
+ *    query-heavy workloads on small graphs.
+ *
+ * Both backends share one Dijkstra kernel (same relaxation order,
+ * epsilon and float rounding), so every quantity the sparse backend
+ * reports is bit-identical to the dense tables' entry for the same
+ * (source, target) pair.
  */
 
 #ifndef SURF_DECODE_GRAPH_HH
 #define SURF_DECODE_GRAPH_HH
 
+#include <atomic>
 #include <cstdint>
 #include <limits>
+#include <mutex>
+#include <utility>
 #include <vector>
 
 #include "sim/dem.hh"
@@ -18,43 +36,150 @@ namespace surf {
 
 class ThreadPool;
 
+/** Shortest-path query backend of a decoding graph. */
+enum class MatchingBackend : uint8_t
+{
+    Dense,  ///< precomputed all-pairs tables
+    Sparse, ///< on-demand truncated Dijkstra
+};
+
+/**
+ * Process-wide default backend: Sparse, unless the environment variable
+ * SURF_MATCHING_BACKEND is set to "dense" (read once, at first use).
+ */
+MatchingBackend defaultMatchingBackend();
+
+/**
+ * Caller-owned state for on-demand Dijkstra queries. Arrays are
+ * epoch-stamped (a generation counter marks which entries belong to the
+ * current search), so resetting between searches is O(1) and a decode
+ * loop performs no allocation in steady state. One scratch per thread;
+ * a scratch may be shared across graphs of different sizes (arrays only
+ * ever grow).
+ */
+struct DijkstraScratch
+{
+    std::vector<std::pair<double, int>> heap;
+    std::vector<double> dist;
+    std::vector<uint8_t> par;
+    std::vector<uint32_t> gen;
+    uint32_t cur = 0;
+
+    /** Grow the arrays to cover `n` nodes (no-op when large enough). */
+    void
+    bind(size_t n)
+    {
+        if (dist.size() < n) {
+            heap.reserve(n);
+            dist.resize(n);
+            par.resize(n);
+            gen.resize(n, 0);
+        }
+    }
+};
+
 /** Decoding graph over the detectors of one basis tag. */
 class DecodingGraph
 {
   public:
     /**
      * @param tag 0 = X-check detectors, 1 = Z-check detectors
-     * @param pool optional worker pool: the all-pairs shortest-path rows
-     *             are independent, so construction parallelises cleanly
-     *             (the result is identical for any worker count)
+     * @param pool optional worker pool for the Dense backend: the
+     *             all-pairs shortest-path rows are independent, so the
+     *             table build parallelises cleanly (the result is
+     *             identical for any worker count)
+     * @param backend query backend; Sparse skips all precompute
      */
     DecodingGraph(const DetectorErrorModel &dem, uint8_t tag,
-                  ThreadPool *pool = nullptr);
+                  ThreadPool *pool = nullptr,
+                  MatchingBackend backend = defaultMatchingBackend());
+    ~DecodingGraph();
+
+    DecodingGraph(const DecodingGraph &) = delete;
+    DecodingGraph &operator=(const DecodingGraph &) = delete;
 
     size_t numNodes() const { return global_of_.size(); }
     int boundaryNode() const { return static_cast<int>(numNodes()); }
+    MatchingBackend backend() const { return backend_; }
 
     /** Local node for a global detector id (-1 when not this tag). */
     int localOf(uint32_t global_det) const;
 
-    /** Shortest-path distance between local nodes (boundaryNode() ok). */
+    /** Shortest-path distance between local nodes (Dense backend only;
+     *  boundaryNode() ok). */
     double
     dist(int a, int b) const
     {
         return dist_[triIndex(a, b)];
     }
 
-    /** Observable parity along one shortest path between local nodes. */
+    /** Observable parity along one shortest path (Dense backend only). */
     bool
     obsParity(int a, int b) const
     {
         return obs_[triIndex(a, b)] != 0;
     }
 
+    /**
+     * One memoized shortest-path row (Sparse backend): distances and
+     * parities from a source node to everything within `radius`
+     * (infinity elsewhere: beyond the radius, or unreachable).
+     * Immutable once published; shared lock-free across decode workers.
+     */
+    struct Row
+    {
+        double radius = 0.0;
+        std::vector<float> dist; ///< numNodes()+1 entries, inf = absent
+        std::vector<uint8_t> par;
+    };
+
+    /**
+     * Memoized row for `src` (Sparse backend). Rows are built lazily by
+     * whichever decode worker first needs them — the scratch supplies
+     * the Dijkstra state — and then shared: a decoder that lives in the
+     * DeformedCodeCache answers later shots and later epochs at
+     * table-lookup speed, while a shape that is decoded once only ever
+     * pays for the rows its own defects touch.
+     *
+     * When `exact`, the row covers the full graph and its entries are
+     * bit-identical to the dense backend's table row. Otherwise the row
+     * is truncated at radius 2 * d(src, boundary): for any defect pair
+     * (i, j), max(2 d(i,B), 2 d(j,B)) >= d(i,B) + d(j,B), so every pair
+     * that could appear in a minimum-weight perfect matching (farther
+     * pairs lose to matching both ends into the boundary) is present in
+     * at least one of its endpoints' rows.
+     *
+     * Concurrent builders may race; the first publication wins and the
+     * values are identical either way, so results never depend on the
+     * winner. Losing rows are retired and freed with the graph.
+     */
+    const Row &row(int src, bool exact, DijkstraScratch &sc) const;
+
+    /** Number of rows built so far (diagnostics / cache accounting). */
+    size_t rowsBuilt() const
+    {
+        return rows_built_.load(std::memory_order_relaxed);
+    }
+
+    /** Rough heap footprint (cache accounting). */
+    size_t memoryBytes() const;
+
     static constexpr double kInf = std::numeric_limits<double>::infinity();
 
   private:
     void buildApsp(ThreadPool *pool);
+
+    /**
+     * The one Dijkstra kernel both backends run — identical relaxation
+     * order, tie epsilon and float rounding, which is what makes sparse
+     * rows bit-compatible with the dense tables. With `record` null the
+     * frontier is exhausted into the scratch (dense table build);
+     * otherwise every settled node is written into the record row, and
+     * `bound_at_boundary` caps the radius at 2 * d(src, boundary) (plus
+     * a quantized-tie margin) the moment the boundary settles.
+     */
+    void search(int src, DijkstraScratch &sc, double cutoff, Row *record,
+                bool bound_at_boundary) const;
 
     /**
      * Index into the flat upper-triangular APSP storage (diagonal
@@ -72,20 +197,30 @@ class DecodingGraph
         return lo * n - lo * (lo + 1) / 2 + hi;
     }
 
-    struct Edge
-    {
-        int to;
-        double w;
-        bool obs;
-    };
+    /** Bounded Dijkstra for one row: explores freely until the boundary
+     *  settles, then caps the radius (infinite when `exact`). */
+    Row *buildRow(int src, bool exact, DijkstraScratch &sc) const;
 
+    MatchingBackend backend_;
     std::vector<uint32_t> global_of_;
     std::vector<int> local_of_;
-    std::vector<std::vector<Edge>> adj_; // index numNodes() = boundary
-    std::vector<float> dist_;            // flat triangular, see triIndex()
-    std::vector<uint8_t> obs_;           // parities, same indexing; bytes
-                                         // so parallel row fills don't
-                                         // share words across rows
+    // CSR adjacency over numNodes()+1 nodes (last = boundary). Neighbor
+    // order matches the DEM edge order, which fixes the relaxation
+    // order shared by both backends.
+    std::vector<uint32_t> csr_off_;
+    std::vector<int> csr_to_;
+    std::vector<double> csr_w_;
+    std::vector<uint8_t> csr_obs_;
+    // Dense backend only:
+    std::vector<float> dist_;  // flat triangular, see triIndex()
+    std::vector<uint8_t> obs_; // parities, same indexing; bytes so
+                               // parallel row fills don't share words
+                               // across rows
+    // Sparse backend only: lazily built, immutable-once-published rows.
+    mutable std::vector<std::atomic<const Row *>> rows_;
+    mutable std::atomic<size_t> rows_built_{0};
+    mutable std::mutex retired_mutex_;
+    mutable std::vector<const Row *> retired_; ///< freed in ~DecodingGraph
 };
 
 } // namespace surf

@@ -1,11 +1,19 @@
 #include "decode/mwpm.hh"
 
+#include <algorithm>
 #include <cmath>
 
 #include "decode/blossom.hh"
 #include "util/logging.hh"
 
 namespace surf {
+
+namespace {
+
+/** Integer weight scale shared by both backends. */
+constexpr double kScale = 1024.0;
+
+} // namespace
 
 bool
 MwpmDecoder::decode(const uint32_t *fired, size_t n_fired,
@@ -18,9 +26,18 @@ MwpmDecoder::decode(const uint32_t *fired, size_t n_fired,
         if (l >= 0)
             defects.push_back(l);
     }
-    const int k = static_cast<int>(defects.size());
-    if (k == 0)
+    if (defects.empty())
         return false;
+    return graph_.backend() == MatchingBackend::Dense
+               ? decodeDense(scratch)
+               : decodeSparse(scratch);
+}
+
+bool
+MwpmDecoder::decodeDense(MwpmScratch &scratch) const
+{
+    const auto &defects = scratch.defects;
+    const int k = static_cast<int>(defects.size());
     const int bnode = graph_.boundaryNode();
 
     // Closed-form fast paths for the overwhelmingly common low-weight
@@ -46,7 +63,6 @@ MwpmDecoder::decode(const uint32_t *fired, size_t n_fired,
     // defect i <-> defect j at path distance, defect i <-> its own virtual
     // at boundary distance, virtual <-> virtual free.
     const int n = 2 * k;
-    constexpr double kScale = 1024.0;
     auto &w = scratch.weights;
     w.assign(static_cast<size_t>(n) * n, kMatchForbidden);
     auto at = [&](int a, int b) -> int64_t & {
@@ -75,9 +91,8 @@ MwpmDecoder::decode(const uint32_t *fired, size_t n_fired,
                 at(k + j, k + i) = 0;
             }
     }
-    const auto mate = minWeightPerfectMatching(n, w);
     bool obs = false;
-    if (mate.empty()) {
+    if (!minWeightPerfectMatching(n, w, scratch.mate)) {
         // No perfect matching (disconnected leftovers): fall back to
         // matching every defect to the boundary.
         for (int i = 0; i < k; ++i)
@@ -85,13 +100,179 @@ MwpmDecoder::decode(const uint32_t *fired, size_t n_fired,
         return obs;
     }
     for (int i = 0; i < k; ++i) {
-        const int m = mate[static_cast<size_t>(i)];
+        const int m = scratch.mate[static_cast<size_t>(i)];
         if (m < k) {
             if (m > i)
                 obs ^= graph_.obsParity(defects[static_cast<size_t>(i)],
                                         defects[static_cast<size_t>(m)]);
         } else {
             obs ^= graph_.obsParity(defects[static_cast<size_t>(i)], bnode);
+        }
+    }
+    return obs;
+}
+
+bool
+MwpmDecoder::decodeSparse(MwpmScratch &sc) const
+{
+    const auto &defects = sc.defects; // ascending local node ids
+    const int k = static_cast<int>(defects.size());
+    const int bnode = graph_.boundaryNode();
+    const size_t cols = static_cast<size_t>(k) + 1; // slot k = boundary
+    constexpr float kInf = std::numeric_limits<float>::infinity();
+
+    // Per-shot path cache over defect slots (and the boundary slot):
+    // filled once by the lazy searches; the closed forms, the matrix
+    // assembly and the post-blossom parity reads are all table lookups.
+    // Pairs share one (lo, hi) cell, filled by the run rooted at the
+    // smaller node id first — the same witness the dense tables store.
+    auto tri = [cols](int a, int b) {
+        const auto lo = static_cast<size_t>(a < b ? a : b);
+        const auto hi = static_cast<size_t>(a < b ? b : a);
+        return lo * cols + hi;
+    };
+    // Fill the per-shot path cache from the graph's memoized rows (each
+    // row is one lazy bounded Dijkstra, built at most once per graph and
+    // shared across shots, epochs and cache reuses). The (i, j) cell is
+    // witnessed by the smaller node id's row when it holds the pair —
+    // the same witness the dense tables store — and by the other
+    // endpoint's row otherwise: for any pair that can matter to the
+    // matching, max(2 d(i,B), 2 d(j,B)) >= d(i,B) + d(j,B) puts it
+    // within at least one of the two radii.
+    const bool exact = truncate_k_ == SIZE_MAX;
+    sc.pathDist.assign(cols * cols, kInf);
+    sc.pathPar.assign(cols * cols, 0);
+    sc.rows.clear();
+    for (int i = 0; i < k; ++i)
+        sc.rows.push_back(&graph_.row(defects[static_cast<size_t>(i)],
+                                      exact, sc.dijkstra));
+    for (int i = 0; i < k; ++i) {
+        const DecodingGraph::Row &ri = *sc.rows[static_cast<size_t>(i)];
+        const size_t bi = tri(i, k);
+        sc.pathDist[bi] = ri.dist[static_cast<size_t>(bnode)];
+        sc.pathPar[bi] = ri.par[static_cast<size_t>(bnode)];
+        for (int j = i + 1; j < k; ++j) {
+            const auto tj =
+                static_cast<size_t>(defects[static_cast<size_t>(j)]);
+            const size_t idx = tri(i, j);
+            if (std::isfinite(ri.dist[tj])) {
+                sc.pathDist[idx] = ri.dist[tj];
+                sc.pathPar[idx] = ri.par[tj];
+            } else {
+                const DecodingGraph::Row &rj =
+                    *sc.rows[static_cast<size_t>(j)];
+                const auto ti =
+                    static_cast<size_t>(defects[static_cast<size_t>(i)]);
+                if (std::isfinite(rj.dist[ti])) {
+                    sc.pathDist[idx] = rj.dist[ti];
+                    sc.pathPar[idx] = rj.par[ti];
+                }
+            }
+        }
+    }
+
+    // Closed forms, identical to the dense backend (the table entries
+    // are bit-equal to the dense tables' for these always-exact cases).
+    if (k == 1)
+        return sc.pathPar[tri(0, 1)] != 0;
+    if (k == 2) {
+        const double pair_w = sc.pathDist[tri(0, 1)];
+        const double bdry_w = static_cast<double>(sc.pathDist[tri(0, 2)]) +
+                              static_cast<double>(sc.pathDist[tri(1, 2)]);
+        if (pair_w <= bdry_w)
+            return std::isfinite(pair_w) ? sc.pathPar[tri(0, 1)] != 0
+                                         : false;
+        return (sc.pathPar[tri(0, 2)] ^ sc.pathPar[tri(1, 2)]) != 0;
+    }
+
+    // K-nearest truncation of the matching graph (PyMatching-style):
+    // when the shot has more than K+1 defects, each defect only offers
+    // edges to its K nearest fellow defects (kept if either endpoint
+    // nominates the pair) plus its boundary edge.
+    const bool truncate =
+        !exact && static_cast<size_t>(k - 1) > truncate_k_;
+    if (truncate) {
+        sc.pairKeep.assign(static_cast<size_t>(k) * k, 0);
+        for (int i = 0; i < k; ++i) {
+            sc.nearCand.clear();
+            for (int j = 0; j < k; ++j) {
+                if (j == i)
+                    continue;
+                const float d = sc.pathDist[tri(i, j)];
+                if (std::isfinite(d))
+                    sc.nearCand.push_back({d, j});
+            }
+            if (sc.nearCand.size() > truncate_k_)
+                std::nth_element(
+                    sc.nearCand.begin(),
+                    sc.nearCand.begin() +
+                        static_cast<std::ptrdiff_t>(truncate_k_),
+                    sc.nearCand.end());
+            const size_t keep = std::min(truncate_k_, sc.nearCand.size());
+            for (size_t c = 0; c < keep; ++c)
+                sc.pairKeep[static_cast<size_t>(i) * k +
+                            sc.nearCand[c].second] = 1;
+        }
+    }
+
+    const int n = 2 * k;
+    auto &w = sc.weights;
+    auto at = [&](int a, int b) -> int64_t & {
+        return w[static_cast<size_t>(a) * n + b];
+    };
+    auto buildMatrix = [&](bool use_mask) {
+        w.assign(static_cast<size_t>(n) * n, kMatchForbidden);
+        for (int i = 0; i < k; ++i) {
+            for (int j = i + 1; j < k; ++j) {
+                if (use_mask &&
+                    !(sc.pairKeep[static_cast<size_t>(i) * k + j] |
+                      sc.pairKeep[static_cast<size_t>(j) * k + i]))
+                    continue;
+                const double d = sc.pathDist[tri(i, j)];
+                if (std::isfinite(d)) {
+                    const auto iw =
+                        static_cast<int64_t>(std::llround(d * kScale));
+                    at(i, j) = iw;
+                    at(j, i) = iw;
+                }
+            }
+            const double db = sc.pathDist[tri(i, k)];
+            if (std::isfinite(db)) {
+                const auto iw =
+                    static_cast<int64_t>(std::llround(db * kScale));
+                at(i, k + i) = iw;
+                at(k + i, i) = iw;
+            }
+            for (int j = 0; j < k; ++j)
+                if (j != i) {
+                    at(k + i, k + j) = 0;
+                    at(k + j, k + i) = 0;
+                }
+        }
+    };
+    buildMatrix(truncate);
+    bool found = minWeightPerfectMatching(n, w, sc.mate);
+    if (!found && truncate) {
+        // Truncation left the matching graph without a perfect matching
+        // (isolated far-apart defects): retry with every known pair.
+        buildMatrix(false);
+        found = minWeightPerfectMatching(n, w, sc.mate);
+    }
+    bool obs = false;
+    if (!found) {
+        // Genuinely disconnected leftovers: fall back to matching every
+        // defect to the boundary, exactly like the dense backend.
+        for (int i = 0; i < k; ++i)
+            obs ^= sc.pathPar[tri(i, k)] != 0;
+        return obs;
+    }
+    for (int i = 0; i < k; ++i) {
+        const int m = sc.mate[static_cast<size_t>(i)];
+        if (m < k) {
+            if (m > i)
+                obs ^= sc.pathPar[tri(i, m)] != 0;
+        } else {
+            obs ^= sc.pathPar[tri(i, k)] != 0;
         }
     }
     return obs;

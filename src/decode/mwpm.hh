@@ -4,6 +4,34 @@
  * fired detectors are matched pairwise or to the boundary along shortest
  * paths of the decoding graph; the predicted observable flip is the XOR
  * of the observable parities along the matched paths.
+ *
+ * Two backends (see graph.hh): the default Sparse backend answers the
+ * path queries with per-shot truncated Dijkstra searches from each
+ * fired defect (O(defects x local search) per shot, O(edges) decoder
+ * construction), while the Dense backend keeps the historical
+ * precomputed all-pairs tables.
+ *
+ * The sparse backend memoizes one shortest-path row per fired defect
+ * node (DecodingGraph::row): rows are built lazily by the decode
+ * workers, shared lock-free, and persist with the graph — a decoder
+ * living in the DeformedCodeCache reaches dense-table speed after its
+ * first shots while never paying for rows no defect touches.
+ *
+ * Sparse exactness ladder:
+ *  - setTruncation(SIZE_MAX): fully exact — rows cover the whole graph
+ *    with values bit-identical to the dense tables, so predictions are
+ *    bit-identical to the dense backend on every shot.
+ *  - default (truncation K): rows are radius-bounded at 2 d(src, B);
+ *    since max(2 d(i,B), 2 d(j,B)) >= d(i,B) + d(j,B), every pair that
+ *    could appear in a minimum-weight perfect matching (farther pairs
+ *    lose to matching both ends into the boundary) is present in at
+ *    least one endpoint's row, so the returned matching is still
+ *    minimum-weight — only the choice among equal-weight optima may
+ *    differ from the dense backend. Shots with more than K+1 defects
+ *    additionally truncate the matching graph to each defect's K
+ *    nearest fellow defects (the PyMatching-style approximation), with
+ *    an untruncated retry whenever that leaves the matching graph
+ *    without a perfect matching.
  */
 
 #ifndef SURF_DECODE_MWPM_HH
@@ -16,31 +44,67 @@
 
 namespace surf {
 
+/** Default per-defect neighbor budget of the sparse backend: searches
+ *  stop after the K nearest fellow defects (plus the boundary), so any
+ *  shot with at most K+1 defects is matched exactly. */
+inline constexpr size_t kDefaultNearestDefects = 16;
+
 /**
- * Reusable per-thread decode workspace: the defect list and the dense
- * matching weight matrix keep their heap buffers across calls, so a
- * steady-state decode loop performs no allocation here. Each worker
- * thread owns one scratch; the decoder itself stays immutable and
- * shareable.
+ * Reusable per-thread decode workspace. The defect list, the dense
+ * matching weight matrix, the blossom mate buffer, the Dijkstra search
+ * state and the per-shot path cache all keep their heap buffers across
+ * calls, so a steady-state decode loop performs no allocation here.
+ * Epoch-stamped arrays (Dijkstra state, defect-slot map) reset in O(1).
+ * Each worker thread owns one scratch; the decoder itself stays
+ * immutable and shareable, and one scratch may serve decoders of
+ * different sizes.
  */
 struct MwpmScratch
 {
     std::vector<int> defects;
     std::vector<int64_t> weights;
+    std::vector<int> mate; ///< blossom output buffer
+
+    // Sparse backend: lazy-search state plus the per-shot path cache
+    // (distance/parity per defect pair and per defect-boundary pair),
+    // filled once from the graph's memoized rows so matrix assembly and
+    // the final blossom re-queries are table reads.
+    DijkstraScratch dijkstra;
+    std::vector<float> pathDist;
+    std::vector<uint8_t> pathPar;
+    std::vector<const DecodingGraph::Row *> rows;
+    std::vector<uint8_t> pairKeep; ///< K-nearest matrix truncation mask
+    std::vector<std::pair<float, int>> nearCand;
 };
 
 /** MWPM decoder for one basis tag of a detector error model. */
 class MwpmDecoder
 {
   public:
-    /** @param pool optional workers for parallel graph construction */
+    /**
+     * @param pool optional workers for parallel table construction
+     *             (Dense backend only; Sparse builds in O(edges))
+     * @param backend query backend, default from SURF_MATCHING_BACKEND
+     */
     MwpmDecoder(const DetectorErrorModel &dem, uint8_t tag,
-                ThreadPool *pool = nullptr)
-        : graph_(dem, tag, pool)
+                ThreadPool *pool = nullptr,
+                MatchingBackend backend = defaultMatchingBackend())
+        : graph_(dem, tag, pool, backend)
     {
     }
 
     const DecodingGraph &graph() const { return graph_; }
+    MatchingBackend backend() const { return graph_.backend(); }
+
+    /** Sparse truncation knob: each defect's searches stop after its K
+     *  nearest fellow defects (and are radius-bounded via boundary
+     *  distances). SIZE_MAX = fully exact: no truncation, no radius
+     *  bound, bit-identical to Dense. Ignored by the Dense backend. */
+    void setTruncation(size_t k) { truncate_k_ = k ? k : 1; }
+    size_t truncation() const { return truncate_k_; }
+
+    /** Rough heap footprint (cache accounting). */
+    size_t memoryBytes() const { return graph_.memoryBytes(); }
 
     /**
      * Decode one shot: `fired` points at `n_fired` fired detector ids
@@ -51,16 +115,12 @@ class MwpmDecoder
     bool decode(const uint32_t *fired, size_t n_fired,
                 MwpmScratch &scratch) const;
 
-    /** Convenience overload allocating a throwaway scratch. */
-    bool
-    decode(const std::vector<uint32_t> &fired_global) const
-    {
-        MwpmScratch scratch;
-        return decode(fired_global.data(), fired_global.size(), scratch);
-    }
-
   private:
+    bool decodeDense(MwpmScratch &scratch) const;
+    bool decodeSparse(MwpmScratch &scratch) const;
+
     DecodingGraph graph_;
+    size_t truncate_k_ = kDefaultNearestDefects;
 };
 
 } // namespace surf

@@ -33,6 +33,26 @@ UnionFindDecoder::UnionFindDecoder(const DetectorErrorModel &dem, uint8_t tag)
     }
 }
 
+void
+UfScratch::prepare(size_t n, size_t n_edges)
+{
+    has_boundary.assign(n, 0);
+    growth.assign(n_edges, 0);
+    fused.assign(n_edges, 0);
+    forest.clear();
+}
+
+size_t
+UnionFindDecoder::memoryBytes() const
+{
+    size_t bytes = local_of_.capacity() * sizeof(int) +
+                   edges_.capacity() * sizeof(Edge) +
+                   incident_.capacity() * sizeof(std::vector<int>);
+    for (const auto &inc : incident_)
+        bytes += inc.capacity() * sizeof(int);
+    return bytes;
+}
+
 bool
 UnionFindDecoder::decode(const uint32_t *fired, size_t n_fired,
                          UfScratch &sc) const
@@ -52,11 +72,12 @@ UnionFindDecoder::decode(const uint32_t *fired, size_t n_fired,
         return false;
 
     // Union-find with cluster parity and boundary flags. All state lives
-    // in the scratch, so repeated decodes reuse the same buffers.
+    // in the scratch, so repeated decodes reuse the same buffers (and
+    // the growth workspace is only cleared past the zero-defect exit).
+    sc.prepare(n, edges_.size());
     sc.parent.resize(n);
     std::iota(sc.parent.begin(), sc.parent.end(), 0);
     sc.parity.assign(sc.defect.begin(), sc.defect.end());
-    sc.has_boundary.assign(n, 0);
     sc.has_boundary[static_cast<size_t>(nb)] = 1;
     auto &parent = sc.parent;
     auto find = [&parent](int v) {
@@ -68,9 +89,6 @@ UnionFindDecoder::decode(const uint32_t *fired, size_t n_fired,
         return v;
     };
 
-    sc.growth.assign(edges_.size(), 0);
-    sc.fused.assign(edges_.size(), 0);
-    sc.forest.clear(); // edges that performed a union (spanning)
     auto active = [&](int root) {
         return sc.parity[static_cast<size_t>(root)] &&
                !sc.has_boundary[static_cast<size_t>(root)];

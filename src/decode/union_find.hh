@@ -20,8 +20,9 @@ namespace surf {
 /**
  * Reusable per-thread workspace for the union-find decoder: cluster
  * state, growth counters and the peeling forest all keep their heap
- * buffers between decodes. One scratch per worker thread; the decoder
- * itself is immutable and shareable.
+ * buffers between decodes. One scratch per worker thread (it may be
+ * shared across decoders of different sizes); the decoder itself is
+ * immutable and shareable.
  */
 struct UfScratch
 {
@@ -29,6 +30,11 @@ struct UfScratch
     std::vector<int> parent, growth, forest, order, bfs_queue;
     std::vector<std::pair<int, int>> parent_edge; // node -> (edge, parent)
     std::vector<std::vector<std::pair<int, int>>> tree; // node -> (edge, to)
+
+    /** Clear the growth workspace for a graph of `n` nodes (boundary
+     *  included) and `n_edges` edges, reusing capacity. Called after
+     *  the zero-defect early exit, which needs only `defect`. */
+    void prepare(size_t n, size_t n_edges);
 };
 
 /** Union-find decoder over one basis tag of a detector error model. */
@@ -45,13 +51,8 @@ class UnionFindDecoder
     bool decode(const uint32_t *fired, size_t n_fired,
                 UfScratch &scratch) const;
 
-    /** Convenience overload allocating a throwaway scratch. */
-    bool
-    decode(const std::vector<uint32_t> &fired_global) const
-    {
-        UfScratch scratch;
-        return decode(fired_global.data(), fired_global.size(), scratch);
-    }
+    /** Rough heap footprint (cache accounting). */
+    size_t memoryBytes() const;
 
   private:
     struct Edge

@@ -1,26 +1,120 @@
 #include "scenario/deformed_code_cache.hh"
 
+#include <algorithm>
+#include <chrono>
+
 namespace surf {
 
-const CachedSegment &
+size_t
+CachedSegment::memoryBytes() const
+{
+    size_t bytes = sizeof(CachedSegment);
+    for (const Instruction &ins : circuit.instructions())
+        bytes += sizeof(Instruction) +
+                 ins.targets.capacity() * sizeof(uint32_t);
+    bytes += dem.detectorTag.capacity();
+    bytes += (dem.edges[0].capacity() + dem.edges[1].capacity()) *
+             sizeof(DemEdge);
+    if (mwpm)
+        bytes += mwpm->memoryBytes();
+    if (uf)
+        bytes += uf->memoryBytes();
+    return bytes;
+}
+
+size_t
+CachedSegment::dynamicBytes() const
+{
+    return mwpm ? mwpm->memoryBytes() : 0;
+}
+
+std::shared_ptr<const CachedSegment>
 DeformedCodeCache::get(const std::string &key,
                        const std::function<CachedSegment()> &build)
 {
     auto it = entries_.find(key);
     if (it != entries_.end()) {
         ++hits_;
-        return *it->second;
+        Entry &e = it->second;
+        // Re-measure the growable part on every hit: the sparse decoder
+        // graphs grow as decode workers memoize Dijkstra rows, and a
+        // byte budget must see that growth, not the at-insert size.
+        // Everything else in the segment is immutable (measured once).
+        const size_t bytes = e.static_bytes + e.seg->dynamicBytes();
+        bytes_used_ += bytes - e.bytes;
+        e.bytes = bytes;
+        touch(e);
+        enforceBudget(&e);
+        return e.seg;
     }
     ++misses_;
-    auto entry = std::make_unique<CachedSegment>(build());
-    return *entries_.emplace(key, std::move(entry)).first->second;
+    const auto t0 = std::chrono::steady_clock::now();
+    auto seg = std::make_shared<CachedSegment>(build());
+    const double cost = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - t0)
+                            .count();
+    build_seconds_ += cost;
+    Entry entry;
+    entry.seg = std::move(seg);
+    entry.bytes = entry.seg->memoryBytes() + key.size();
+    entry.static_bytes = entry.bytes - entry.seg->dynamicBytes();
+    entry.cost = cost;
+    Entry &stored = entries_.emplace(key, std::move(entry)).first->second;
+    bytes_used_ += stored.bytes;
+    touch(stored);
+    enforceBudget(&stored);
+    return stored.seg;
+}
+
+void
+DeformedCodeCache::touch(Entry &e)
+{
+    // GreedyDual: priority decays to the clock as other entries evict;
+    // a use (or the insert) lifts it back by the entry's build cost.
+    e.pri = clock_ + e.cost;
+}
+
+void
+DeformedCodeCache::enforceBudget(const Entry *pinned)
+{
+    auto overBudget = [&] {
+        return (max_bytes_ && bytes_used_ > max_bytes_) ||
+               (max_entries_ && entries_.size() > max_entries_);
+    };
+    while (overBudget() && entries_.size() > (pinned ? 1u : 0u)) {
+        auto victim = entries_.end();
+        for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+            if (&it->second == pinned)
+                continue;
+            if (victim == entries_.end() ||
+                it->second.pri < victim->second.pri)
+                victim = it;
+        }
+        if (victim == entries_.end())
+            break;
+        clock_ = std::max(clock_, victim->second.pri);
+        bytes_used_ -= victim->second.bytes;
+        entries_.erase(victim);
+        ++evictions_;
+    }
+}
+
+void
+DeformedCodeCache::setBudget(size_t max_bytes, size_t max_entries)
+{
+    max_bytes_ = max_bytes;
+    max_entries_ = max_entries;
+    enforceBudget(nullptr);
 }
 
 void
 DeformedCodeCache::clear()
 {
     entries_.clear();
-    hits_ = misses_ = 0;
+    bytes_used_ = 0;
+    clock_ = 0.0;
+    build_seconds_ = 0.0;
+    hits_ = misses_ = evictions_ = 0;
 }
 
 } // namespace surf

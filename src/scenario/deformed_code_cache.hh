@@ -2,13 +2,23 @@
  * @file
  * DeformedCodeCache: memoizes the expensive per-epoch decode artifacts —
  * the standalone segment circuit, its detector error model, and the
- * decoder graphs (whose all-pairs shortest-path tables dominate build
- * time). Keys are canonical segment identities (previous/current patch
- * signatures, seam trust set, rounds, round parity, position flags and the
- * decoder-view noise), so every recurrence of a deformed shape across
- * shots, events and timelines reuses one entry. Entries are built from
- * pure functions of the key, which is why cache-hit and cache-miss
- * decodes are bit-identical.
+ * decoder graphs. Keys are canonical segment identities (previous/current
+ * patch signatures, seam trust set, rounds, round parity, position flags
+ * and the decoder-view noise), so every recurrence of a deformed shape
+ * across shots, events and timelines reuses one entry. Entries are built
+ * from pure functions of the key, which is why cache-hit and cache-miss
+ * decodes are bit-identical — and why eviction can never change results,
+ * only cost.
+ *
+ * The cache is bounded: setBudget() caps the approximate byte footprint
+ * and/or the entry count, and eviction runs the classic GreedyDual
+ * policy — each entry's priority is (global clock at last use + measured
+ * build seconds), the minimum-priority entry is evicted, and the clock
+ * advances to the evicted priority. With equal build costs this is exact
+ * LRU; with unequal costs, entries that were expensive to build survive
+ * proportionally longer. Entries are handed out as shared_ptr, so a
+ * segment still referenced by an in-flight timeline survives its own
+ * eviction.
  *
  * Not thread-safe: the scenario engine populates it from the orchestrating
  * thread only; decode workers share the immutable entries.
@@ -35,6 +45,13 @@ struct CachedSegment
     DetectorErrorModel dem;
     std::unique_ptr<MwpmDecoder> mwpm;
     std::unique_ptr<UnionFindDecoder> uf;
+
+    /** Approximate heap footprint (budget accounting). */
+    size_t memoryBytes() const;
+
+    /** The part of memoryBytes() that can grow after construction: the
+     *  MWPM graph's lazily memoized Dijkstra rows (O(1) to read). */
+    size_t dynamicBytes() const;
 };
 
 /** Signature-keyed store of decode-ready segments. */
@@ -43,13 +60,25 @@ class DeformedCodeCache
   public:
     /**
      * Look up `key`, building the entry with `build` on a miss. The
-     * returned reference stays valid for the cache's lifetime.
+     * returned pointer keeps the segment alive even if the entry is
+     * later evicted to stay within budget.
      */
-    const CachedSegment &get(const std::string &key,
-                             const std::function<CachedSegment()> &build);
+    std::shared_ptr<const CachedSegment>
+    get(const std::string &key, const std::function<CachedSegment()> &build);
+
+    /**
+     * Bound the cache: evict (cost-weighted LRU) until the approximate
+     * byte footprint is at most `max_bytes` and the entry count at most
+     * `max_entries`; 0 means unbounded in that dimension. Applies
+     * immediately and to every subsequent insertion.
+     */
+    void setBudget(size_t max_bytes, size_t max_entries);
+    size_t budgetBytes() const { return max_bytes_; }
+    size_t budgetEntries() const { return max_entries_; }
 
     uint64_t hits() const { return hits_; }
     uint64_t misses() const { return misses_; }
+    uint64_t evictions() const { return evictions_; }
     double
     hitRate() const
     {
@@ -57,14 +86,39 @@ class DeformedCodeCache
         return total ? static_cast<double>(hits_) / total : 0.0;
     }
     size_t size() const { return entries_.size(); }
+    /** Approximate bytes held by resident entries. Entry sizes are
+     *  re-measured on every hit — the sparse decoder graphs grow as
+     *  workers memoize Dijkstra rows — so byte budgets track the real
+     *  footprint of each entry as of its last use. */
+    size_t bytesUsed() const { return bytes_used_; }
+    /** Total seconds spent building entries (misses). */
+    double buildSeconds() const { return build_seconds_; }
 
-    void resetStats() { hits_ = misses_ = 0; }
+    void resetStats() { hits_ = misses_ = evictions_ = 0; }
     void clear();
 
   private:
-    std::map<std::string, std::unique_ptr<CachedSegment>> entries_;
+    struct Entry
+    {
+        std::shared_ptr<const CachedSegment> seg;
+        size_t bytes = 0;        ///< static_bytes + dynamic at last use
+        size_t static_bytes = 0; ///< immutable part, measured at insert
+        double cost = 0.0;       ///< measured build seconds
+        double pri = 0.0;        ///< GreedyDual priority at last use
+    };
+
+    void touch(Entry &e);
+    void enforceBudget(const Entry *pinned);
+
+    std::map<std::string, Entry> entries_;
+    size_t max_bytes_ = 0;   ///< 0 = unbounded
+    size_t max_entries_ = 0; ///< 0 = unbounded
+    size_t bytes_used_ = 0;
+    double clock_ = 0.0;
+    double build_seconds_ = 0.0;
     uint64_t hits_ = 0;
     uint64_t misses_ = 0;
+    uint64_t evictions_ = 0;
 };
 
 } // namespace surf

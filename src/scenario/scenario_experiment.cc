@@ -104,8 +104,9 @@ runPlannedTimeline(const ScenarioPlan &plan, const ScenarioConfig &cfg,
     const std::string *prev_sig = nullptr;
     std::vector<Coord> tracked; ///< representative carried across seams
     std::vector<size_t> det_begin(n_epochs), det_end(n_epochs);
-    std::vector<const CachedSegment *> segs(n_epochs);
-    std::vector<std::unique_ptr<CachedSegment>> uncached;
+    // shared_ptr: a segment stays alive for this timeline even if the
+    // bounded cache evicts its entry while later epochs are resolved.
+    std::vector<std::shared_ptr<const CachedSegment>> segs(n_epochs);
     tl.epochs.resize(n_epochs);
 
     for (size_t e = 0; e < n_epochs; ++e) {
@@ -168,10 +169,9 @@ runPlannedTimeline(const ScenarioPlan &plan, const ScenarioConfig &cfg,
                 prev_sig ? *prev_sig : std::string("-"), ep.structSig,
                 removed_untrusted, prev_tracked, seam.trackedLogical, spec,
                 dec_noise);
-            segs[e] = &cache.get(key, build);
+            segs[e] = cache.get(key, build);
         } else {
-            uncached.push_back(std::make_unique<CachedSegment>(build()));
-            segs[e] = uncached.back().get();
+            segs[e] = std::make_shared<const CachedSegment>(build());
         }
         SURF_ASSERT(segs[e]->dem.numDetectors == det_end[e] - det_begin[e],
                     "standalone segment does not mirror the concatenated "
@@ -300,7 +300,10 @@ runScenarioExperiment(const ScenarioConfig &cfg)
     out.horizonRounds = cfg.timeline.horizonRounds;
     DeformedCodeCache local_cache;
     DeformedCodeCache &cache = cfg.cache ? *cfg.cache : local_cache;
+    if (cfg.cacheMaxBytes || cfg.cacheMaxEntries)
+        cache.setBudget(cfg.cacheMaxBytes, cfg.cacheMaxEntries);
     const uint64_t hits0 = cache.hits(), misses0 = cache.misses();
+    const uint64_t evictions0 = cache.evictions();
 
     StrategyMemo memo;
     const CodePatch base = squarePatch(cfg.timeline.d);
@@ -328,6 +331,7 @@ runScenarioExperiment(const ScenarioConfig &cfg)
     }
     out.cacheHits = cache.hits() - hits0;
     out.cacheMisses = cache.misses() - misses0;
+    out.cacheEvictions = cache.evictions() - evictions0;
 
     const auto est = estimateBinomial(out.failures, out.shots);
     out.pShot = est.p;

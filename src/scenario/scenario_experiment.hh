@@ -58,6 +58,12 @@ struct ScenarioConfig
 
     bool useCache = true; ///< disable to rebuild decoders per epoch (bench)
     DeformedCodeCache *cache = nullptr; ///< optional external cache
+    /** Cache budget applied to whichever cache the run uses (the local
+     *  one or cfg.cache); 0 = leave unbounded / as configured. Eviction
+     *  is cost-weighted LRU and can never change results — entries are
+     *  pure functions of their keys. */
+    size_t cacheMaxBytes = 0;
+    size_t cacheMaxEntries = 0;
 };
 
 /** Per-epoch statistics of one timeline. */
@@ -102,8 +108,9 @@ struct ScenarioResult
     uint64_t horizonRounds = 0;
     uint64_t totalEpochs = 0;
     uint64_t deadTimelines = 0;
-    uint64_t cacheHits = 0;   ///< this run's lookups (even with an
-    uint64_t cacheMisses = 0; ///< external shared cache)
+    uint64_t cacheHits = 0;      ///< this run's lookups (even with an
+    uint64_t cacheMisses = 0;    ///< external shared cache)
+    uint64_t cacheEvictions = 0; ///< evictions during this run
     std::vector<TimelineStats> timelines;
 };
 

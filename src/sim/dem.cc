@@ -1,8 +1,10 @@
 #include "sim/dem.hh"
 
 #include <algorithm>
+#include <array>
 #include <iterator>
 #include <map>
+#include <unordered_map>
 
 #include "util/logging.hh"
 
@@ -18,26 +20,37 @@ struct Component
     std::vector<std::tuple<uint32_t, bool, bool>> paulis;
 };
 
-/** Enumerate the independent components of one noise instruction. */
-void
-enumerateComponents(const Instruction &ins,
-                    std::vector<Component> &out)
+/**
+ * Enumerate the independent components of one noise instruction into a
+ * reusable pool (entries keep their heap buffers across calls).
+ * @return the number of pool entries filled
+ */
+size_t
+enumerateComponents(const Instruction &ins, std::vector<Component> &pool)
 {
-    out.clear();
+    size_t n = 0;
+    auto emit = [&](double p) -> Component & {
+        if (pool.size() <= n)
+            pool.emplace_back();
+        Component &c = pool[n++];
+        c.p = p;
+        c.paulis.clear();
+        return c;
+    };
     switch (ins.op) {
       case Op::XError:
         for (uint32_t q : ins.targets)
-            out.push_back({ins.arg, {{q, true, false}}});
+            emit(ins.arg).paulis.push_back({q, true, false});
         break;
       case Op::ZError:
         for (uint32_t q : ins.targets)
-            out.push_back({ins.arg, {{q, false, true}}});
+            emit(ins.arg).paulis.push_back({q, false, true});
         break;
       case Op::Depolarize1:
         for (uint32_t q : ins.targets) {
-            out.push_back({ins.arg / 3, {{q, true, false}}});
-            out.push_back({ins.arg / 3, {{q, true, true}}});
-            out.push_back({ins.arg / 3, {{q, false, true}}});
+            emit(ins.arg / 3).paulis.push_back({q, true, false});
+            emit(ins.arg / 3).paulis.push_back({q, true, true});
+            emit(ins.arg / 3).paulis.push_back({q, false, true});
         }
         break;
       case Op::Depolarize2:
@@ -45,21 +58,36 @@ enumerateComponents(const Instruction &ins,
             const uint32_t a = ins.targets[i], b = ins.targets[i + 1];
             for (int which = 1; which < 16; ++which) {
                 const int pa = which / 4, pb = which % 4;
-                Component c{ins.arg / 15, {}};
+                Component &c = emit(ins.arg / 15);
                 if (pa)
                     c.paulis.push_back(
                         {a, pa == 1 || pa == 2, pa == 2 || pa == 3});
                 if (pb)
                     c.paulis.push_back(
                         {b, pb == 1 || pb == 2, pb == 2 || pb == 3});
-                out.push_back(std::move(c));
             }
         }
         break;
       default:
         break;
     }
+    return n;
 }
+
+/** FNV-1a over the detector-id words of a flip set. */
+struct FlipSetHash
+{
+    size_t
+    operator()(const std::vector<uint32_t> &v) const
+    {
+        uint64_t h = 1469598103934665603ULL;
+        for (uint32_t x : v) {
+            h ^= x;
+            h *= 1099511628211ULL;
+        }
+        return static_cast<size_t>(h);
+    }
+};
 
 } // namespace
 
@@ -90,8 +118,13 @@ buildDem(const Circuit &circuit, PauliType obs_basis)
         dem.numDetectors = det_id;
     }
 
-    // Accumulate components keyed by (flipped detector set, obs flip).
-    std::map<std::pair<std::vector<uint32_t>, bool>, double> merged;
+    // Accumulate components keyed by flipped detector set, one slot per
+    // observable-flip value (hashed: this map sees every component of
+    // every noise site, so it is the hottest structure of the build).
+    std::unordered_map<std::vector<uint32_t>, std::array<double, 2>,
+                       FlipSetHash>
+        merged;
+    merged.reserve(4 * circuit.countNoiseInstructions() + 16);
 
     std::vector<size_t> meas_before(instrs.size() + 1, 0);
     for (size_t i = 0; i < instrs.size(); ++i) {
@@ -127,15 +160,33 @@ buildDem(const Circuit &circuit, PauliType obs_basis)
         if (meas_flips_obs[m])
             meas_flips[m].push_back(obs_id); // ids ascending: obs_id last
     }
-    // Per noise site: (qubit, X flip set, Z flip set) per distinct target.
-    struct SiteSensitivity
-    {
-        size_t site;
-        std::vector<std::tuple<uint32_t, std::vector<uint32_t>,
-                               std::vector<uint32_t>>>
-            per_qubit;
+    // Noise sites are folded into `merged` inline, right where the
+    // backward pass has their sensitivity sets live in sx/sz — no
+    // per-site snapshot copies. Component buffers are pooled.
+    std::vector<Component> comp_pool;
+    std::vector<uint32_t> comp_dets;
+    auto foldNoiseSite = [&](const Instruction &ins) {
+        const size_t n_comp = enumerateComponents(ins, comp_pool);
+        for (size_t c = 0; c < n_comp; ++c) {
+            const Component &comp = comp_pool[c];
+            comp_dets.clear();
+            for (const auto &[q, fx, fz] : comp.paulis) {
+                if (fx)
+                    xorMerge(comp_dets, sx[q]);
+                if (fz)
+                    xorMerge(comp_dets, sz[q]);
+            }
+            bool obs_flip = false;
+            if (!comp_dets.empty() && comp_dets.back() == obs_id) {
+                obs_flip = true;
+                comp_dets.pop_back();
+            }
+            if (comp_dets.empty() && !obs_flip)
+                continue;
+            double &slot = merged[comp_dets][obs_flip ? 1 : 0];
+            slot = slot + comp.p - 2 * slot * comp.p;
+        }
     };
-    std::vector<SiteSensitivity> sites; // built backward, replayed forward
 
     for (size_t i = instrs.size(); i-- > 0;) {
         const auto &ins = instrs[i];
@@ -193,80 +244,46 @@ buildDem(const Circuit &circuit, PauliType obs_basis)
             }
             break;
           default:
-            if (isNoiseOp(ins.op) && ins.arg > 0.0) {
-                SiteSensitivity snap;
-                snap.site = i;
-                for (uint32_t q : ins.targets) {
-                    bool seen = false;
-                    for (const auto &[pq, px, pz] : snap.per_qubit)
-                        if (pq == q)
-                            seen = true;
-                    if (!seen)
-                        snap.per_qubit.emplace_back(q, sx[q], sz[q]);
-                }
-                sites.push_back(std::move(snap));
-            }
+            // Detector flips are GF(2)-linear in single-Pauli
+            // generators, so every component's flip set is the
+            // symmetric difference of its generators' live sensitivity
+            // sets.
+            if (isNoiseOp(ins.op) && ins.arg > 0.0)
+                foldNoiseSite(ins);
             break; // detector/observable/tick: no effect on frames
-        }
-    }
-    std::reverse(sites.begin(), sites.end()); // forward site order
-
-    // Assemble components per site: detector flips are GF(2)-linear in
-    // single-Pauli generators, so every component's flip set is the
-    // symmetric difference of its generators' sensitivity sets.
-    std::vector<Component> components;
-    std::vector<uint32_t> comp_dets;
-    for (const SiteSensitivity &snap : sites) {
-        enumerateComponents(instrs[snap.site], components);
-        auto setsFor = [&](uint32_t q)
-            -> const std::tuple<uint32_t, std::vector<uint32_t>,
-                                std::vector<uint32_t>> & {
-            for (const auto &entry : snap.per_qubit)
-                if (std::get<0>(entry) == q)
-                    return entry;
-            SURF_ASSERT(false, "noise component targets a foreign qubit");
-            return snap.per_qubit.front();
-        };
-        for (const Component &comp : components) {
-            comp_dets.clear();
-            for (const auto &[q, fx, fz] : comp.paulis) {
-                const auto &[sq, sx_set, sz_set] = setsFor(q);
-                if (fx)
-                    xorMerge(comp_dets, sx_set);
-                if (fz)
-                    xorMerge(comp_dets, sz_set);
-            }
-            bool obs_flip = false;
-            if (!comp_dets.empty() && comp_dets.back() == obs_id) {
-                obs_flip = true;
-                comp_dets.pop_back();
-            }
-            if (comp_dets.empty() && !obs_flip)
-                continue;
-            auto key = std::make_pair(comp_dets, obs_flip);
-            double &slot = merged[key];
-            slot = slot + comp.p - 2 * slot * comp.p;
         }
     }
 
     // Split each merged component by detector basis and emit graphlike
-    // edges; hyperedges fall back to consecutive pairing.
+    // edges; hyperedges fall back to consecutive pairing. The edge
+    // accumulator is hashed on a packed (a, b, obs) key; the final edge
+    // list is sorted on that key, so the output order is independent of
+    // hash iteration order.
     const uint8_t obs_tag = (obs_basis == PauliType::Z) ? 1 : 0;
-    std::map<std::tuple<int, int, int>, std::pair<double, double>>
-        edge_acc[2]; // (a,b,obs) -> accumulated probability per tag
+    std::unordered_map<uint64_t, double> edge_acc[2];
+    edge_acc[0].reserve(1024);
+    edge_acc[1].reserve(1024);
 
     auto accumulate = [&](uint8_t tag, int a, int b, bool obs, double p) {
         if (a > b)
             std::swap(a, b);
-        auto &slot =
-            edge_acc[tag][{a, b, obs ? 1 : 0}];
-        slot.first = slot.first + p - 2 * slot.first * p;
-        (void)slot.second;
+        // a, b in [-1, numDetectors): +1 keeps them non-negative.
+        const uint64_t key = (static_cast<uint64_t>(a + 1) << 33) |
+                             (static_cast<uint64_t>(b + 1) << 1) |
+                             (obs ? 1u : 0u);
+        double &slot = edge_acc[tag][key];
+        slot = slot + p - 2 * slot * p;
     };
 
-    for (const auto &[key, p] : merged) {
-        const auto &[dets, obs_flip] = key;
-        std::vector<uint32_t> side[2];
+    std::vector<uint32_t> side[2];
+    for (const auto &[dets, probs] : merged) {
+      for (int obs_case = 0; obs_case < 2; ++obs_case) {
+        const double p = probs[obs_case];
+        if (p <= 0.0)
+            continue;
+        const bool obs_flip = obs_case == 1;
+        side[0].clear();
+        side[1].clear();
         for (uint32_t d : dets)
             side[dem.detectorTag[d]].push_back(d);
         bool obs_assigned = false;
@@ -295,26 +312,24 @@ buildDem(const Circuit &circuit, PauliType obs_basis)
             }
             obs_assigned |= carries_obs;
         }
-        if (obs_flip && !obs_assigned) {
-            if (side[obs_tag].empty() && !side[1 - obs_tag].empty()) {
-                // The observable-relevant side fired no detector: treat as
-                // an undetectable logical on that side.
-                dem.undetectableObsProb =
-                    dem.undetectableObsProb + p -
-                    2 * dem.undetectableObsProb * p;
-            } else {
-                dem.undetectableObsProb =
-                    dem.undetectableObsProb + p -
-                    2 * dem.undetectableObsProb * p;
-            }
-        }
+        if (obs_flip && !obs_assigned)
+            dem.undetectableObsProb = dem.undetectableObsProb + p -
+                                      2 * dem.undetectableObsProb * p;
+      }
     }
 
-    for (int tag = 0; tag < 2; ++tag)
-        for (const auto &[key, slot] : edge_acc[tag]) {
-            const auto &[a, b, obs] = key;
-            dem.edges[tag].push_back({a, b, slot.first, obs == 1});
+    std::vector<std::pair<uint64_t, double>> sorted_edges;
+    for (int tag = 0; tag < 2; ++tag) {
+        sorted_edges.assign(edge_acc[tag].begin(), edge_acc[tag].end());
+        std::sort(sorted_edges.begin(), sorted_edges.end());
+        dem.edges[tag].reserve(sorted_edges.size());
+        for (const auto &[key, p] : sorted_edges) {
+            const int a = static_cast<int>(key >> 33) - 1;
+            const int b =
+                static_cast<int>((key >> 1) & 0xFFFFFFFFull) - 1;
+            dem.edges[tag].push_back({a, b, p, (key & 1) != 0});
         }
+    }
     return dem;
 }
 

@@ -226,7 +226,7 @@ TEST(Decoders, MwpmAndUnionFindAgreeOnLowWeightSyndromes)
     EXPECT_GT(checked, 100u);
 }
 
-TEST(Decoders, ScratchReuseMatchesThrowawayScratch)
+TEST(Decoders, ScratchReuseMatchesFreshScratch)
 {
     MemorySpec spec;
     spec.rounds = 3;
@@ -241,9 +241,12 @@ TEST(Decoders, ScratchReuseMatchesThrowawayScratch)
     UfScratch us;
     for (size_t s = 0; s < sim.shots(); ++s) {
         const auto fired = sim.firedDetectors(s);
+        MwpmScratch fresh_ms;
+        UfScratch fresh_us;
         EXPECT_EQ(mwpm.decode(fired.data(), fired.size(), ms),
-                  mwpm.decode(fired));
-        EXPECT_EQ(uf.decode(fired.data(), fired.size(), us), uf.decode(fired));
+                  mwpm.decode(fired.data(), fired.size(), fresh_ms));
+        EXPECT_EQ(uf.decode(fired.data(), fired.size(), us),
+                  uf.decode(fired.data(), fired.size(), fresh_us));
     }
 }
 

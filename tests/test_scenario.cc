@@ -10,6 +10,8 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
+
 #include "baselines/strategies.hh"
 #include "decode/memory_experiment.hh"
 #include "defects/defect_sampler.hh"
@@ -305,6 +307,86 @@ TEST(ScenarioEngine, SharedCacheReusesSegmentsAcrossTimelines)
     runPlannedTimeline(plan, cfg, cache, cfg.seed + 1, 0);
     EXPECT_EQ(cache.hits(), 3u);
     EXPECT_EQ(cache.misses(), 3u);
+}
+
+TEST(ScenarioEngine, CacheEvictionNeverChangesResults)
+{
+    // A one-entry budget forces an eviction on every new shape while the
+    // timeline is still being resolved; shared_ptr hand-out keeps the
+    // evicted segments alive for the decode phase, and entries are pure
+    // functions of their keys, so the failure count cannot move.
+    const ScenarioPlan plan = strikePlan(5, 2, 9, 17, 27, {5, 5}, 2);
+    ScenarioConfig cfg = deformationScenarioConfig();
+
+    DeformedCodeCache unbounded;
+    const TimelineStats ref =
+        runPlannedTimeline(plan, cfg, unbounded, cfg.seed, 0);
+    EXPECT_EQ(unbounded.evictions(), 0u);
+    EXPECT_GT(unbounded.bytesUsed(), 0u);
+
+    DeformedCodeCache bounded;
+    bounded.setBudget(0, 1);
+    EXPECT_EQ(bounded.budgetEntries(), 1u);
+    const TimelineStats tl =
+        runPlannedTimeline(plan, cfg, bounded, cfg.seed, 0);
+    EXPECT_EQ(tl.failures, ref.failures);
+    EXPECT_EQ(bounded.size(), 1u);
+    EXPECT_EQ(bounded.evictions(), 2u);
+    EXPECT_EQ(bounded.misses(), 3u);
+
+    // Same through the public API on sampled multi-epoch timelines: a
+    // byte budget far below one entry still produces identical physics,
+    // just more rebuilds.
+    ScenarioConfig sc = cfg;
+    sc.timeline.horizonRounds = 60;
+    sc.timeline.windowRounds = 10;
+    sc.timeline.maxEpochRounds = 10;
+    sc.defectModel.durationSec = 20e-6;
+    sc.defectModel.regionDiameter = 2;
+    sc.eventRateScale = 150000.0;
+    sc.numTimelines = 2;
+    sc.maxShotsPerTimeline = 128;
+    sc.batchShots = 128;
+    const ScenarioResult free_cache = runScenarioExperiment(sc);
+    sc.cacheMaxBytes = 1;
+    const ScenarioResult tiny_cache = runScenarioExperiment(sc);
+    EXPECT_EQ(tiny_cache.failures, free_cache.failures);
+    EXPECT_GT(tiny_cache.cacheEvictions, 0u);
+}
+
+TEST(DeformedCodeCache, GreedyDualEvictionIsCostWeighted)
+{
+    // Eviction priority is (clock at last use + measured build seconds):
+    // with a full cache, the cheap-to-rebuild entry goes first even if
+    // the expensive one is older.
+    auto segment = [](double build_seconds) {
+        return [build_seconds] {
+            const auto t0 = std::chrono::steady_clock::now();
+            while (std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - t0)
+                       .count() < build_seconds) {
+            }
+            return CachedSegment{};
+        };
+    };
+    DeformedCodeCache cache;
+    cache.setBudget(0, 2);
+    cache.get("expensive", segment(0.05));
+    cache.get("cheap", segment(0.0));
+    EXPECT_EQ(cache.size(), 2u);
+    cache.get("new", segment(0.0));
+    EXPECT_EQ(cache.size(), 2u);
+    EXPECT_EQ(cache.evictions(), 1u);
+    EXPECT_EQ(cache.misses(), 3u);
+    cache.get("expensive", segment(0.05));
+    EXPECT_EQ(cache.hits(), 1u) << "the expensive entry was evicted";
+    cache.get("cheap", segment(0.0));
+    EXPECT_EQ(cache.misses(), 4u) << "the cheap entry should have gone";
+
+    // Byte budgets evict too; an impossible budget empties the cache.
+    cache.setBudget(1, 0);
+    EXPECT_EQ(cache.size(), 0u);
+    EXPECT_EQ(cache.bytesUsed(), 0u);
 }
 
 TEST(EpochPlanner, ConstantWindowsMergeAndCapsSplit)

@@ -1,0 +1,310 @@
+/**
+ * @file
+ * Equivalence tests for the sparse on-demand MWPM backend against the
+ * dense all-pairs backend: bit-identical predictions on random
+ * graphlike DEMs, on deformed-patch circuits at both basis tags, and
+ * query-level agreement of the truncated Dijkstra with the dense
+ * tables. Also: truncation fallback behavior, union-find invariance,
+ * and the d=13 smoke test only the sparse backend can afford per-epoch.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "baselines/strategies.hh"
+#include "decode/memory_experiment.hh"
+#include "decode/mwpm.hh"
+#include "decode/union_find.hh"
+#include "lattice/rotated.hh"
+#include "sim/dem.hh"
+#include "sim/frame.hh"
+#include "sim/syndrome_circuit.hh"
+#include "util/rng.hh"
+
+namespace surf {
+namespace {
+
+/** Random graphlike DEM: per-tag detector sets with random pairwise and
+ *  boundary edges (connected enough to be interesting, but components
+ *  and boundary-free islands are allowed and exercised). */
+DetectorErrorModel
+randomDem(Rng &rng)
+{
+    DetectorErrorModel dem;
+    dem.numDetectors = 12 + rng.below(28);
+    dem.detectorTag.resize(dem.numDetectors);
+    std::vector<int> by_tag[2];
+    for (uint32_t d = 0; d < dem.numDetectors; ++d) {
+        dem.detectorTag[d] = static_cast<uint8_t>(rng.below(2));
+        by_tag[dem.detectorTag[d]].push_back(static_cast<int>(d));
+    }
+    for (int tag = 0; tag < 2; ++tag) {
+        const auto &dets = by_tag[tag];
+        if (dets.empty())
+            continue;
+        const size_t n_edges = dets.size() + rng.below(2 * dets.size() + 1);
+        for (size_t e = 0; e < n_edges; ++e) {
+            DemEdge edge;
+            edge.a = dets[rng.below(dets.size())];
+            // ~1 in 5 edges touch the boundary.
+            edge.b = rng.below(5) == 0
+                         ? -1
+                         : dets[rng.below(dets.size())];
+            if (edge.a == edge.b)
+                continue;
+            edge.p = 1e-4 + 0.3 * rng.uniform();
+            edge.flipsObs = rng.below(2) == 0;
+            dem.edges[tag].push_back(edge);
+        }
+    }
+    return dem;
+}
+
+TEST(SparseMatching, BitIdenticalToDenseOnRandomDems)
+{
+    Rng rng(0xfeedf00d);
+    for (int trial = 0; trial < 30; ++trial) {
+        const DetectorErrorModel dem = randomDem(rng);
+        for (uint8_t tag : {0, 1}) {
+            const MwpmDecoder dense(dem, tag, nullptr,
+                                    MatchingBackend::Dense);
+            MwpmDecoder sparse(dem, tag, nullptr, MatchingBackend::Sparse);
+            ASSERT_EQ(sparse.backend(), MatchingBackend::Sparse);
+            // Fully exact sparse mode: bit-identity is guaranteed for
+            // every syndrome, including ties between equal-weight
+            // matchings (which random weights do produce).
+            sparse.setTruncation(SIZE_MAX);
+            MwpmScratch ds, ss;
+            for (int shot = 0; shot < 40; ++shot) {
+                std::set<uint32_t> fired_set;
+                const size_t n = rng.below(12);
+                for (size_t i = 0; i < n; ++i)
+                    fired_set.insert(
+                        static_cast<uint32_t>(rng.below(dem.numDetectors)));
+                const std::vector<uint32_t> fired(fired_set.begin(),
+                                                  fired_set.end());
+                ASSERT_EQ(dense.decode(fired.data(), fired.size(), ds),
+                          sparse.decode(fired.data(), fired.size(), ss))
+                    << "trial " << trial << " tag " << int(tag) << " shot "
+                    << shot;
+            }
+        }
+    }
+}
+
+TEST(SparseMatching, BitIdenticalToDenseOnDeformedPatchBothBases)
+{
+    // A Surf-Deformer-deformed patch (removal + enlargement around a
+    // burst region) exercises irregular boundaries and seamed weights.
+    const auto out = applyStrategy(Strategy::SurfDeformer, 5, 2,
+                                   {{5, 5}, {6, 6}});
+    ASSERT_TRUE(out.alive);
+    for (PauliType basis : {PauliType::Z, PauliType::X}) {
+        MemorySpec spec;
+        spec.rounds = 5;
+        spec.basis = basis;
+        NoiseParams noise;
+        noise.p = 3e-3;
+        const BuiltCircuit built =
+            buildMemoryCircuit(out.patch, spec, noise);
+        const auto dem = buildDem(built.circuit, basis);
+        const uint8_t tag = (basis == PauliType::Z) ? 1 : 0;
+        const MwpmDecoder dense(dem, tag, nullptr, MatchingBackend::Dense);
+        MwpmDecoder sparse(dem, tag, nullptr, MatchingBackend::Sparse);
+        // Fully exact sparse queries: bit-identity must hold on every
+        // sampled shot, whatever its defect count.
+        sparse.setTruncation(SIZE_MAX);
+        FrameSimulator sim(built.circuit, 1500, 0xd0d0);
+        const SparseSyndromes syndromes = sim.sparseFiredDetectors();
+        MwpmDecoder deflt(dem, tag, nullptr, MatchingBackend::Sparse);
+        MwpmScratch ds, ss;
+        size_t default_disagree = 0;
+        for (size_t s = 0; s < sim.shots(); ++s) {
+            const bool dn =
+                dense.decode(syndromes.data(s), syndromes.count(s), ds);
+            ASSERT_EQ(dn, sparse.decode(syndromes.data(s),
+                                        syndromes.count(s), ss))
+                << "basis " << (basis == PauliType::Z ? "Z" : "X")
+                << " shot " << s;
+            // The default config (truncated, radius-bounded) returns a
+            // minimum-weight matching too; it may only differ from the
+            // dense pick on equal-weight ties, which are rare on real
+            // surface-code graphs.
+            default_disagree +=
+                dn != deflt.decode(syndromes.data(s), syndromes.count(s),
+                                   ss);
+        }
+        EXPECT_LE(default_disagree, sim.shots() / 100)
+            << "default sparse config diverges from dense far more often "
+               "than tie-breaking can explain";
+    }
+}
+
+TEST(SparseMatching, MemoizedRowsMatchDenseTables)
+{
+    MemorySpec spec;
+    spec.rounds = 4;
+    NoiseParams noise;
+    noise.p = 2e-3;
+    const BuiltCircuit built = buildMemoryCircuit(squarePatch(5), spec, noise);
+    const auto dem = buildDem(built.circuit, PauliType::Z);
+    const DecodingGraph dense(dem, 1, nullptr, MatchingBackend::Dense);
+    const DecodingGraph exact_rows(dem, 1, nullptr, MatchingBackend::Sparse);
+    const DecodingGraph bounded_rows(dem, 1, nullptr,
+                                     MatchingBackend::Sparse);
+    const int n = static_cast<int>(dense.numNodes());
+    const int bnode = dense.boundaryNode();
+    ASSERT_GT(n, 10);
+
+    DijkstraScratch sc;
+    for (int src = 0; src < n; src += 3) {
+        // Exact rows: bit-identical to the dense table, entry for
+        // entry. (Parity witnesses are compared for targets >= src,
+        // where the dense table stores the src-rooted path.)
+        const DecodingGraph::Row &ex = exact_rows.row(src, true, sc);
+        EXPECT_EQ(ex.radius, DecodingGraph::kInf);
+        for (int t = 0; t <= n; ++t) {
+            const double dd = dense.dist(src, t);
+            if (std::isfinite(dd)) {
+                ASSERT_EQ(static_cast<double>(
+                              ex.dist[static_cast<size_t>(t)]),
+                          dd)
+                    << "src " << src << " target " << t;
+                if (t >= src)
+                    ASSERT_EQ(ex.par[static_cast<size_t>(t)] != 0,
+                              dense.obsParity(src, t))
+                        << "src " << src << " target " << t;
+            } else {
+                ASSERT_FALSE(std::isfinite(
+                    ex.dist[static_cast<size_t>(t)]));
+            }
+        }
+
+        // Bounded rows: radius-capped at 2 d(src, B); everything within
+        // the radius is present with the dense table's exact value.
+        const DecodingGraph::Row &bd = bounded_rows.row(src, false, sc);
+        const double db = dense.dist(src, bnode);
+        ASSERT_TRUE(std::isfinite(db));
+        EXPECT_GE(bd.radius, 2.0 * db);
+        ASSERT_TRUE(std::isfinite(bd.dist[static_cast<size_t>(bnode)]));
+        for (int t = 0; t <= n; ++t) {
+            const double dd = dense.dist(src, t);
+            if (std::isfinite(dd) && dd <= 2.0 * db)
+                ASSERT_EQ(static_cast<double>(
+                              bd.dist[static_cast<size_t>(t)]),
+                          dd)
+                    << "src " << src << " target " << t;
+        }
+
+        // Asking the bounded graph for an exact row upgrades in place.
+        const DecodingGraph::Row &up = bounded_rows.row(src, true, sc);
+        EXPECT_EQ(up.radius, DecodingGraph::kInf);
+        for (int t = 0; t <= n; ++t)
+            ASSERT_EQ(static_cast<double>(up.dist[static_cast<size_t>(t)]),
+                      static_cast<double>(
+                          ex.dist[static_cast<size_t>(t)]));
+    }
+    EXPECT_GT(exact_rows.rowsBuilt(), 0u);
+}
+
+TEST(SparseMatching, TinyTruncationStillDecodesAndFallsBackExactly)
+{
+    // K = 1 forces heavy truncation; the exact fallback must kick in
+    // whenever the truncated matching graph has no perfect matching, so
+    // predictions stay valid (and, for k <= 2, bit-identical to dense).
+    MemorySpec spec;
+    spec.rounds = 3;
+    NoiseParams noise;
+    noise.p = 2e-2; // dense syndromes: plenty of k > 2 shots
+    const BuiltCircuit built = buildMemoryCircuit(squarePatch(5), spec, noise);
+    const auto dem = buildDem(built.circuit, PauliType::Z);
+    const MwpmDecoder dense(dem, 1, nullptr, MatchingBackend::Dense);
+    MwpmDecoder sparse(dem, 1, nullptr, MatchingBackend::Sparse);
+    sparse.setTruncation(1);
+    EXPECT_EQ(sparse.truncation(), 1u);
+    FrameSimulator sim(built.circuit, 400, 99);
+    const SparseSyndromes syndromes = sim.sparseFiredDetectors();
+    MwpmScratch ds, ss;
+    size_t big_shots = 0;
+    for (size_t s = 0; s < sim.shots(); ++s) {
+        const bool sp =
+            sparse.decode(syndromes.data(s), syndromes.count(s), ss);
+        const bool dn =
+            dense.decode(syndromes.data(s), syndromes.count(s), ds);
+        if (syndromes.count(s) <= 2)
+            EXPECT_EQ(sp, dn) << "shot " << s;
+        else
+            ++big_shots;
+    }
+    EXPECT_GT(big_shots, 20u) << "noise too low to exercise truncation";
+
+    // Flipping the same decoder to fully-exact afterwards upgrades its
+    // memoized truncated rows in place (old rows are retired, not
+    // freed under readers) and restores bit-identity with dense.
+    sparse.setTruncation(SIZE_MAX);
+    for (size_t s = 0; s < sim.shots(); ++s)
+        ASSERT_EQ(sparse.decode(syndromes.data(s), syndromes.count(s), ss),
+                  dense.decode(syndromes.data(s), syndromes.count(s), ds))
+            << "post-upgrade shot " << s;
+}
+
+TEST(SparseMatching, UnionFindUnchangedByBackendChoice)
+{
+    // The union-find decoder shares no state with the matching backend;
+    // its predictions must be identical however the MWPM graphs are
+    // built, and across scratch reuse after the workspace rework.
+    const auto out =
+        applyStrategy(Strategy::SurfDeformer, 5, 2, {{4, 5}});
+    ASSERT_TRUE(out.alive);
+    MemorySpec spec;
+    spec.rounds = 4;
+    NoiseParams noise;
+    noise.p = 5e-3;
+    const BuiltCircuit built = buildMemoryCircuit(out.patch, spec, noise);
+    const auto dem = buildDem(built.circuit, PauliType::Z);
+    const UnionFindDecoder uf(dem, 1);
+    const MwpmDecoder mwpm_dense(dem, 1, nullptr, MatchingBackend::Dense);
+    const MwpmDecoder mwpm_sparse(dem, 1, nullptr, MatchingBackend::Sparse);
+    FrameSimulator sim(built.circuit, 500, 3);
+    const SparseSyndromes syndromes = sim.sparseFiredDetectors();
+    UfScratch reused;
+    MwpmScratch ms;
+    for (size_t s = 0; s < sim.shots(); ++s) {
+        UfScratch fresh;
+        const bool a =
+            uf.decode(syndromes.data(s), syndromes.count(s), reused);
+        const bool b =
+            uf.decode(syndromes.data(s), syndromes.count(s), fresh);
+        ASSERT_EQ(a, b) << "shot " << s;
+        // Interleave MWPM decodes of both backends to prove no shared
+        // mutable state leaks into the union-find result.
+        (void)mwpm_dense.decode(syndromes.data(s), syndromes.count(s), ms);
+        (void)mwpm_sparse.decode(syndromes.data(s), syndromes.count(s), ms);
+    }
+}
+
+TEST(SparseMatching, D13MemoryExperimentSmoke)
+{
+    // d = 13: the dense backend's per-shape APSP build (triangular
+    // tables over ~1200 nodes per tag) makes scenario-scale sweeps
+    // impractical; the sparse backend runs it directly. Smoke-check the
+    // full pipeline end to end at the default (sparse) backend.
+    MemoryExperimentConfig cfg;
+    cfg.spec.rounds = 13;
+    cfg.noise.p = 1e-3;
+    cfg.maxShots = 256;
+    cfg.batchShots = 128;
+    cfg.targetFailures = 1u << 30;
+    cfg.threads = 2;
+    cfg.decoder = DecoderKind::Mwpm;
+    const auto res = runMemoryExperiment(squarePatch(13), cfg);
+    EXPECT_EQ(res.shots, 256u);
+    EXPECT_LT(res.pShot, 0.1);
+    EXPECT_GT(res.numDetectors, 1000u);
+}
+
+} // namespace
+} // namespace surf
