@@ -1,18 +1,22 @@
 /**
  * @file
  * Decoder-backend micro-bench: dense (precomputed all-pairs tables) vs
- * sparse (on-demand truncated Dijkstra) MWPM across distances. Measures
- * the cold path every new deformed-patch shape pays — decoding-graph
- * construction — and steady-state decode throughput, and verifies that
- * both backends predict identically on every sampled shot in the exact
- * regime (defect count <= truncation + 1). Emits BENCH_decoder.json.
+ * sparse rows (on-demand truncated Dijkstra) vs the matrix-free sparse
+ * blossom. Measures the cold path every new deformed-patch shape pays —
+ * decoding-graph construction — steady-state decode throughput, and
+ * burst-syndrome throughput (shots/sec vs fired-defect count, the
+ * Q3DE-style cosmic-ray regime where the matrix-free matcher is the
+ * designed winner). Verifies on every sampled shot that the exact-mode
+ * sparse rows decoder predicts bit-identically to dense, and that the
+ * sparse blossom's matched weight equals the dense blossom's exactly on
+ * every burst shot. Emits BENCH_decoder.json.
  *
- * Flags: --scale=S (shot budget), --dmax=N (default 13), --json=DIR.
- * Exits non-zero if the exact-mode sparse decoder (truncation SIZE_MAX,
- * bit-identity guaranteed) disagrees with dense on any shot, so CI
- * smoke runs double as an equivalence check. The default sparse config
- * (truncated, radius-bounded) is timed as well and its agreement rate
- * reported — it may differ from dense only on equal-weight ties.
+ * Flags: --scale=S (shot budget), --dmax=N (default 13), --dburst=N
+ * (default 11, burst-section distance), --json=DIR.
+ * Exits non-zero on any equivalence violation, so CI smoke runs double
+ * as the cross-backend gate. The default sparse config (truncated,
+ * radius-bounded, burst dispatch) is timed as well and its agreement
+ * rate reported — it may differ from dense only on equal-weight ties.
  */
 
 #include <chrono>
@@ -20,11 +24,13 @@
 #include <string>
 
 #include "bench_util.hh"
+#include "burst_syndromes.hh"
 #include "decode/mwpm.hh"
 #include "lattice/rotated.hh"
 #include "sim/dem.hh"
 #include "sim/frame.hh"
 #include "sim/syndrome_circuit.hh"
+#include "util/rng.hh"
 
 using namespace surf;
 using namespace surf::benchutil;
@@ -133,8 +139,127 @@ main(int argc, char **argv)
         report.metric("default_agreement_rate" + suffix,
                       1.0 - static_cast<double>(default_disagree) / shots);
     }
+    // ---- Burst syndromes: decode throughput vs fired-defect count ----
+    // The regime Surf-Deformer's dynamic-defect scenarios produce:
+    // cosmic-ray events fire large contiguous detector clusters. The
+    // dense path pays the k x k matrix + O(k^3) blossom; the rows path
+    // additionally builds (memoized) full Dijkstra rows; the matrix-free
+    // sparse blossom grows bounded balls and solves a sparse instance.
+    const int dburst = static_cast<int>(flagValue(argc, argv, "dburst", 11));
+    bool burst_weights_equal = true;
+    {
+        MemorySpec spec;
+        spec.rounds = dburst;
+        NoiseParams noise;
+        noise.p = 2e-3;
+        const BuiltCircuit built =
+            buildMemoryCircuit(squarePatch(dburst), spec, noise);
+        const auto dem = buildDem(built.circuit, PauliType::Z);
+        const MwpmDecoder dense(dem, 1, nullptr, MatchingBackend::Dense);
+        MwpmDecoder rows(dem, 1, nullptr, MatchingBackend::Sparse);
+        rows.setBlossomThreshold(SIZE_MAX); // pin the rows + matrix path
+        const MwpmDecoder blossom(dem, 1, nullptr,
+                                  MatchingBackend::SparseBlossom);
+        std::printf("\nburst syndromes at d=%d (cluster-fired detectors; "
+                    "dense-vs-blossom weight gate on every shot):\n",
+                    dburst);
+        std::printf("    k    dense sh/s     rows sh/s  blossom sh/s"
+                    "   vs dense   vs rows\n");
+        Rng rng(0xbadbeef);
+        MwpmScratch sd, sr, sb;
+        for (const size_t kk : {8u, 16u, 32u, 64u, 128u}) {
+            const size_t reps = std::max<size_t>(
+                4, static_cast<size_t>(s * 4096 / kk));
+            std::vector<std::vector<uint32_t>> bursts;
+            bursts.reserve(reps);
+            for (size_t r = 0; r < reps; ++r)
+                bursts.push_back(
+                    burstCluster(dem, dense.graph(), kk, rng));
+            auto t0 = std::chrono::steady_clock::now();
+            for (const auto &b : bursts)
+                (void)dense.decode(b.data(), b.size(), sd);
+            const double t_dense = secondsSince(t0);
+            t0 = std::chrono::steady_clock::now();
+            for (const auto &b : bursts)
+                (void)rows.decode(b.data(), b.size(), sr);
+            const double t_rows = secondsSince(t0);
+            t0 = std::chrono::steady_clock::now();
+            for (const auto &b : bursts)
+                (void)blossom.decode(b.data(), b.size(), sb);
+            const double t_blossom = secondsSince(t0);
+            size_t weight_mismatch = 0;
+            for (const auto &b : bursts) {
+                (void)dense.decode(b.data(), b.size(), sd);
+                (void)blossom.decode(b.data(), b.size(), sb);
+                weight_mismatch += sd.lastWeight != sb.lastWeight;
+            }
+            if (weight_mismatch)
+                burst_weights_equal = false;
+            const double sps_dense = reps / std::max(1e-9, t_dense);
+            const double sps_rows = reps / std::max(1e-9, t_rows);
+            const double sps_blossom = reps / std::max(1e-9, t_blossom);
+            std::printf("  %3zu  %10.0f    %10.0f    %10.0f   %7.2fx  "
+                        "%7.2fx%s\n",
+                        kk, sps_dense, sps_rows, sps_blossom,
+                        sps_blossom / std::max(1e-9, sps_dense),
+                        sps_blossom / std::max(1e-9, sps_rows),
+                        weight_mismatch ? "  WEIGHT MISMATCH (BUG)" : "");
+            const std::string suffix = "_k" + std::to_string(kk);
+            report.metric("burst_shots_per_sec_dense" + suffix, sps_dense);
+            report.metric("burst_shots_per_sec_rows" + suffix, sps_rows);
+            report.metric("burst_shots_per_sec_blossom" + suffix,
+                          sps_blossom);
+            report.metric("burst_blossom_vs_rows" + suffix,
+                          sps_blossom / std::max(1e-9, sps_rows));
+            report.metric("burst_weight_mismatches" + suffix,
+                          static_cast<double>(weight_mismatch));
+        }
+
+        // ---- Row budget: resident row memory with and without a cap.
+        // The rows decoder above memoized full-graph rows for every
+        // defect the bursts touched; a budgeted decoder replays the
+        // same load under an LRU cap.
+        MwpmDecoder budgeted(dem, 1, nullptr, MatchingBackend::Sparse);
+        budgeted.setBlossomThreshold(SIZE_MAX);
+        budgeted.setRowBudget(64);
+        {
+            Rng rng2(0xbadbeef);
+            MwpmScratch sq;
+            for (const size_t kk : {8u, 16u, 32u, 64u, 128u}) {
+                const size_t reps = std::max<size_t>(
+                    4, static_cast<size_t>(s * 4096 / kk));
+                for (size_t r = 0; r < reps; ++r) {
+                    const auto b =
+                        burstCluster(dem, dense.graph(), kk, rng2);
+                    (void)budgeted.decode(b.data(), b.size(), sq);
+                }
+            }
+        }
+        const double unbudgeted_mib =
+            static_cast<double>(rows.memoryBytes()) / (1 << 20);
+        const double budgeted_mib =
+            static_cast<double>(budgeted.memoryBytes()) / (1 << 20);
+        std::printf("\nrow pool after the burst load: unbudgeted %zu rows "
+                    "(%.1f MiB), budget=64 -> %zu resident (%.1f MiB, "
+                    "%zu built)\n",
+                    rows.graph().rowsResident(), unbudgeted_mib,
+                    budgeted.graph().rowsResident(), budgeted_mib,
+                    budgeted.graph().rowsBuilt());
+        report.metric("rows_resident_unbudgeted",
+                      static_cast<double>(rows.graph().rowsResident()));
+        report.metric("rows_resident_budget64",
+                      static_cast<double>(budgeted.graph().rowsResident()));
+        report.metric("row_mem_mib_unbudgeted", unbudgeted_mib);
+        report.metric("row_mem_mib_budget64", budgeted_mib);
+    }
+
+    const bool ok = all_agree && burst_weights_equal;
     report.metric("backends_agree", all_agree ? 1.0 : 0.0);
+    report.metric("burst_weights_equal", burst_weights_equal ? 1.0 : 0.0);
     std::printf("\nbackends agree on every exact-regime shot: %s\n",
                 all_agree ? "yes" : "NO (BUG)");
-    return all_agree ? 0 : 1;
+    std::printf("sparse blossom weight-equal to dense on every burst "
+                "shot: %s\n",
+                burst_weights_equal ? "yes" : "NO (BUG)");
+    return ok ? 0 : 1;
 }

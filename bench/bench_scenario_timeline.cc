@@ -139,6 +139,11 @@ main(int argc, char **argv)
                 static_cast<unsigned long>(shared_cache.misses()),
                 static_cast<unsigned long>(shared_cache.evictions()),
                 shared_cache.buildSeconds());
+    std::printf("stitched timelines: %lu hits / %lu misses (a warm pass "
+                "skips seam classification and circuit stitching on "
+                "every hit)\n",
+                static_cast<unsigned long>(shared_cache.timelineHits()),
+                static_cast<unsigned long>(shared_cache.timelineMisses()));
     std::printf("speedup %.1fx; identical results: %s (%lu failures / "
                 "%lu shots, p_round %.3e)\n",
                 cached_eps / std::max(1e-9, uncached_eps),
@@ -160,6 +165,10 @@ main(int argc, char **argv)
                   static_cast<double>(shared_cache.misses()));
     report.metric("cache_evictions",
                   static_cast<double>(shared_cache.evictions()));
+    report.metric("timeline_hits",
+                  static_cast<double>(shared_cache.timelineHits()));
+    report.metric("timeline_misses",
+                  static_cast<double>(shared_cache.timelineMisses()));
     report.metric("cache_entries", static_cast<double>(shared_cache.size()));
     report.metric("cache_resident_mib",
                   static_cast<double>(shared_cache.bytesUsed()) / (1 << 20));

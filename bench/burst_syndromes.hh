@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Shared synthetic burst-syndrome generator: the detectors of a
+ * contiguous decoding-graph region around a random center (BFS over the
+ * CSR adjacency), modelling the paper's Q3DE-style cosmic-ray events
+ * that light up whole clusters of checks. Used by both the
+ * burst-throughput bench (the CI weight gate) and the sparse-matching
+ * equivalence tests, so the two always exercise the same burst model.
+ */
+
+#ifndef SURF_BENCH_BURST_SYNDROMES_HH
+#define SURF_BENCH_BURST_SYNDROMES_HH
+
+#include <set>
+#include <vector>
+
+#include "decode/graph.hh"
+#include "sim/dem.hh"
+#include "util/rng.hh"
+
+namespace surf::benchutil {
+
+/** Fired detector ids (global, ascending) of one cluster of about
+ *  `target` nodes around a random center. */
+inline std::vector<uint32_t>
+burstCluster(const DetectorErrorModel &dem, const DecodingGraph &g,
+             size_t target, Rng &rng)
+{
+    const int n = static_cast<int>(g.numNodes());
+    std::vector<int> frontier{static_cast<int>(rng.below(n))};
+    std::set<int> seen(frontier.begin(), frontier.end());
+    const auto &off = g.csrOffsets();
+    const auto &to = g.csrTargets();
+    while (!frontier.empty() && seen.size() < target) {
+        const int v = frontier.back();
+        frontier.pop_back();
+        for (uint32_t i = off[static_cast<size_t>(v)];
+             i < off[static_cast<size_t>(v) + 1]; ++i) {
+            const int u = to[i];
+            if (u >= n || !seen.insert(u).second)
+                continue;
+            frontier.push_back(u);
+            if (seen.size() >= target)
+                break;
+        }
+    }
+    std::vector<uint32_t> fired;
+    for (uint32_t d = 0; d < dem.numDetectors; ++d) {
+        const int l = g.localOf(d);
+        if (l >= 0 && seen.count(l))
+            fired.push_back(d);
+    }
+    return fired;
+}
+
+} // namespace surf::benchutil
+
+#endif // SURF_BENCH_BURST_SYNDROMES_HH

@@ -331,6 +331,8 @@ class MaxWeightMatcher
                     else if (s_[x] == 0)
                         d = std::min(d, eDelta(edge(slack_[x], x)) / 2);
                 }
+            if (d == INT64_MAX)
+                return false; // no dual move exists: trees cannot grow
             for (int u = 1; u <= n_; ++u) {
                 if (s_[st_[u]] == 0) {
                     if (lab_[u] <= d)

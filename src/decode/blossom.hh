@@ -35,8 +35,9 @@ std::vector<int> minWeightPerfectMatching(int n,
 bool minWeightPerfectMatching(int n, const std::vector<int64_t> &w,
                               std::vector<int> &mate);
 
-/** Sentinel weight marking a forbidden pair. */
-inline constexpr int64_t kMatchForbidden = INT64_C(1) << 42;
+/** Sentinel weight marking a forbidden pair (far above any real weight,
+ *  including the tie-break-perturbed ones — see match_weights.hh). */
+inline constexpr int64_t kMatchForbidden = INT64_C(1) << 58;
 
 } // namespace surf
 

@@ -29,6 +29,9 @@ defaultMatchingBackend()
         const char *env = std::getenv("SURF_MATCHING_BACKEND");
         if (env && std::strcmp(env, "dense") == 0)
             return MatchingBackend::Dense;
+        if (env && (std::strcmp(env, "sparse_blossom") == 0 ||
+                    std::strcmp(env, "blossom") == 0))
+            return MatchingBackend::SparseBlossom;
         return MatchingBackend::Sparse;
     }();
     return def;
@@ -85,19 +88,17 @@ DecodingGraph::DecodingGraph(const DetectorErrorModel &dem, uint8_t tag,
     }
     csr_off_[numNodes() + 1] = off;
 
-    if (backend_ == MatchingBackend::Dense)
+    if (backend_ == MatchingBackend::Dense) {
         buildApsp(pool);
-    else
-        rows_ = std::vector<std::atomic<const Row *>>(numNodes());
+    } else {
+        rows_ =
+            std::vector<std::atomic<std::shared_ptr<const Row>>>(numNodes());
+        fast_rows_ = std::vector<std::atomic<const Row *>>(numNodes());
+        row_stamp_ = std::vector<std::atomic<uint64_t>>(numNodes());
+    }
 }
 
-DecodingGraph::~DecodingGraph()
-{
-    for (auto &slot : rows_)
-        delete slot.load(std::memory_order_relaxed);
-    for (const Row *r : retired_)
-        delete r;
-}
+DecodingGraph::~DecodingGraph() = default;
 
 int
 DecodingGraph::localOf(uint32_t global_det) const
@@ -111,25 +112,76 @@ DecodingGraph::memoryBytes() const
 {
     const size_t row_bytes =
         (numNodes() + 1) * (sizeof(float) + 1) + sizeof(Row);
+    size_t retired;
+    {
+        std::lock_guard<std::mutex> lock(evict_mutex_);
+        retired = retired_.size();
+    }
     return global_of_.capacity() * sizeof(uint32_t) +
            local_of_.capacity() * sizeof(int) +
            csr_off_.capacity() * sizeof(uint32_t) +
            csr_to_.capacity() * sizeof(int) +
            csr_w_.capacity() * sizeof(double) + csr_obs_.capacity() +
            dist_.capacity() * sizeof(float) + obs_.capacity() +
-           rows_.size() * sizeof(rows_[0]) +
-           rows_built_.load(std::memory_order_relaxed) * row_bytes;
+           rows_.size() * (sizeof(rows_[0]) + sizeof(fast_rows_[0]) +
+                           sizeof(row_stamp_[0])) +
+           (rows_resident_.load(std::memory_order_relaxed) + retired) *
+               row_bytes;
+}
+
+void
+DecodingGraph::setRowBudget(size_t max_rows)
+{
+    {
+        std::lock_guard<std::mutex> lock(evict_mutex_);
+        if (max_rows)
+            // Sticky: readers must hold owned handles from here on
+            // (eviction may free rows), so the raw fast path closes
+            // for good. Must happen before any decode worker races.
+            row_budget_ever_.store(true, std::memory_order_release);
+        row_budget_ = max_rows;
+    }
+    enforceRowBudget();
+}
+
+void
+DecodingGraph::enforceRowBudget() const
+{
+    std::lock_guard<std::mutex> lock(evict_mutex_);
+    if (!row_budget_ ||
+        rows_resident_.load(std::memory_order_relaxed) <= row_budget_)
+        return;
+    // Collect resident slots oldest-first and drop until within budget.
+    // Readers holding shared_ptrs keep their rows alive; a dropped row
+    // is rebuilt (identically) on its next use.
+    std::vector<std::pair<uint64_t, int>> by_age;
+    by_age.reserve(rows_.size());
+    for (size_t i = 0; i < rows_.size(); ++i)
+        if (rows_[i].load(std::memory_order_acquire))
+            by_age.push_back(
+                {row_stamp_[i].load(std::memory_order_relaxed),
+                 static_cast<int>(i)});
+    std::sort(by_age.begin(), by_age.end());
+    for (const auto &[stamp, idx] : by_age) {
+        if (rows_resident_.load(std::memory_order_relaxed) <= row_budget_)
+            break;
+        if (rows_[static_cast<size_t>(idx)].exchange(
+                nullptr, std::memory_order_acq_rel)) {
+            fast_rows_[static_cast<size_t>(idx)].store(
+                nullptr, std::memory_order_release);
+            rows_resident_.fetch_sub(1, std::memory_order_relaxed);
+        }
+    }
 }
 
 void
 DecodingGraph::search(int src, DijkstraScratch &sc, double cutoff,
                       Row *record, bool bound_at_boundary) const
 {
-    // Quantized matrix weights tie at 1/1024 granularity; pairs whose
-    // true distance sits within the margin of the radius bound must stay
-    // inside a bounded row, because an integer-tied edge can still
-    // appear in an optimal matching.
-    constexpr double kTieMargin = 8.0 / 1024.0;
+    // Pairs whose true distance sits within the quantization margin of
+    // the radius bound must stay inside a bounded row, because an
+    // integer-tied edge can still appear in an optimal matching.
+    constexpr double kTieMargin = kWeightTieMargin;
     const size_t n = numNodes() + 1;
     sc.bind(n);
     if (++sc.cur == 0) {
@@ -190,34 +242,66 @@ DecodingGraph::buildRow(int src, bool exact, DijkstraScratch &sc) const
     return row;
 }
 
-const DecodingGraph::Row &
+std::shared_ptr<const DecodingGraph::Row>
 DecodingGraph::row(int src, bool exact, DijkstraScratch &sc) const
 {
-    SURF_ASSERT(backend_ == MatchingBackend::Sparse &&
+    SURF_ASSERT(backend_ != MatchingBackend::Dense &&
                     static_cast<size_t>(src) < rows_.size(),
                 "row queries are a Sparse-backend defect-node facility");
     auto &slot = rows_[static_cast<size_t>(src)];
-    const Row *cur = slot.load(std::memory_order_acquire);
-    if (cur && (!exact || cur->radius == kInf))
-        return *cur;
-    Row *fresh = buildRow(src, exact, sc);
+    // Unbudgeted graphs (the default) never evict, so warm hits read a
+    // raw mirror pointer with no refcount traffic and return a
+    // non-owning handle — the same lock-free fast path the raw-pointer
+    // design had. Rows displaced by exactness upgrades are retired (not
+    // freed) to keep those non-owning readers safe.
+    if (!row_budget_ever_.load(std::memory_order_acquire)) {
+        const Row *fast =
+            fast_rows_[static_cast<size_t>(src)].load(
+                std::memory_order_acquire);
+        if (fast && (!exact || fast->radius == kInf))
+            return {std::shared_ptr<const void>(), fast};
+    }
+    // LRU stamps only matter when a budget can evict; the unbudgeted
+    // path skips the shared tick counter so workers don't contend on
+    // it for every defect of every shot.
+    auto touch = [&] {
+        if (row_budget_.load(std::memory_order_relaxed))
+            row_stamp_[static_cast<size_t>(src)].store(
+                row_tick_.fetch_add(1, std::memory_order_relaxed) + 1,
+                std::memory_order_relaxed);
+    };
+    std::shared_ptr<const Row> cur = slot.load(std::memory_order_acquire);
+    if (cur && (!exact || cur->radius == kInf)) {
+        touch();
+        return cur;
+    }
+    std::shared_ptr<const Row> fresh{buildRow(src, exact, sc)};
     for (;;) {
         if (slot.compare_exchange_strong(cur, fresh,
                                          std::memory_order_acq_rel,
                                          std::memory_order_acquire)) {
             rows_built_.fetch_add(1, std::memory_order_relaxed);
-            if (cur) {
-                // Upgraded a truncated row: the old one may still be in
-                // use by another worker — retire, free with the graph.
-                std::lock_guard<std::mutex> lock(retired_mutex_);
-                retired_.push_back(cur);
+            if (!cur) {
+                rows_resident_.fetch_add(1, std::memory_order_relaxed);
+            } else {
+                // Upgrade over a truncated row: non-owning fast-path
+                // readers may still hold it, so it lives with the graph.
+                std::lock_guard<std::mutex> lock(evict_mutex_);
+                retired_.push_back(std::move(cur));
             }
-            return *fresh;
+            fast_rows_[static_cast<size_t>(src)].store(
+                fresh.get(), std::memory_order_release);
+            touch();
+            if (row_budget_ &&
+                rows_resident_.load(std::memory_order_relaxed) >
+                    row_budget_)
+                enforceRowBudget();
+            return fresh;
         }
         // Lost the race; `cur` now holds the winner.
         if (cur && (!exact || cur->radius == kInf)) {
-            delete fresh;
-            return *cur;
+            touch();
+            return cur;
         }
     }
 }

@@ -26,6 +26,7 @@
 #include <atomic>
 #include <cstdint>
 #include <limits>
+#include <memory>
 #include <mutex>
 #include <utility>
 #include <vector>
@@ -40,14 +41,29 @@ class ThreadPool;
 enum class MatchingBackend : uint8_t
 {
     Dense,  ///< precomputed all-pairs tables
-    Sparse, ///< on-demand truncated Dijkstra
+    Sparse, ///< on-demand truncated Dijkstra rows + dense blossom
+    /** Matrix-free sparse blossom (see sparse_blossom.hh): per-shot
+     *  bounded ball growth on the CSR adjacency + an adjacency-list
+     *  blossom solve; no rows, no k x k matrix. The graph itself stores
+     *  only the CSR arrays, exactly like Sparse. */
+    SparseBlossom,
 };
 
 /**
- * Process-wide default backend: Sparse, unless the environment variable
- * SURF_MATCHING_BACKEND is set to "dense" (read once, at first use).
+ * Process-wide default backend (read once, at first use) from the
+ * environment variable SURF_MATCHING_BACKEND:
+ *  - unset / "sparse": Sparse rows for small shots, with the decoder
+ *    dispatching burst shots to the matrix-free sparse blossom
+ *  - "dense": precomputed all-pairs tables
+ *  - "rows": Sparse rows for every shot (no sparse-blossom dispatch)
+ *  - "sparse_blossom" / "blossom": matrix-free matcher for every shot
  */
 MatchingBackend defaultMatchingBackend();
+
+/** Quantized matrix weights tie at 1/1024 granularity; radius-bounded
+ *  searches keep this margin so integer-tied pairs stay inside bounded
+ *  rows and balls (shared by the row builder and the sparse blossom). */
+inline constexpr double kWeightTieMargin = 8.0 / 1024.0;
 
 /**
  * Caller-owned state for on-demand Dijkstra queries. Arrays are
@@ -102,6 +118,14 @@ class DecodingGraph
     int boundaryNode() const { return static_cast<int>(numNodes()); }
     MatchingBackend backend() const { return backend_; }
 
+    /** Read-only CSR adjacency over numNodes()+1 nodes (last = the
+     *  boundary), in DEM edge order — the shared relaxation order. The
+     *  matrix-free matcher walks these directly. */
+    const std::vector<uint32_t> &csrOffsets() const { return csr_off_; }
+    const std::vector<int> &csrTargets() const { return csr_to_; }
+    const std::vector<double> &csrWeights() const { return csr_w_; }
+    const std::vector<uint8_t> &csrObsFlips() const { return csr_obs_; }
+
     /** Local node for a global detector id (-1 when not this tag). */
     int localOf(uint32_t global_det) const;
 
@@ -151,11 +175,39 @@ class DecodingGraph
      *
      * Concurrent builders may race; the first publication wins and the
      * values are identical either way, so results never depend on the
-     * winner. Losing rows are retired and freed with the graph.
+     * winner. The returned shared_ptr keeps the row alive for the
+     * caller even if the row budget evicts it mid-shot; rows are pure
+     * functions of (src, exact), so eviction and rebuild can never
+     * change results, only cost.
      */
-    const Row &row(int src, bool exact, DijkstraScratch &sc) const;
+    std::shared_ptr<const Row> row(int src, bool exact,
+                                   DijkstraScratch &sc) const;
 
-    /** Number of rows built so far (diagnostics / cache accounting). */
+    /**
+     * Bound the memoized row pool: at most `max_rows` rows stay
+     * resident (0 = unbounded). When a newly published row pushes the
+     * pool past the budget, the least-recently-used rows are dropped —
+     * long d >= 21 sweeps can no longer grow O(n^2) row memory. In-use
+     * rows are safe (shared_ptr), and results are unchanged by
+     * construction. Set the budget before decode workers start: the
+     * first non-zero budget permanently switches readers from the
+     * lock-free unbudgeted fast path to owned handles, and that switch
+     * must not race in-flight row() calls.
+     */
+    void setRowBudget(size_t max_rows);
+    size_t rowBudget() const
+    {
+        return row_budget_.load(std::memory_order_relaxed);
+    }
+
+    /** Rows currently resident (<= budget when one is set). */
+    size_t rowsResident() const
+    {
+        return rows_resident_.load(std::memory_order_relaxed);
+    }
+
+    /** Total rows built over the graph's lifetime (diagnostics; counts
+     *  rebuilds after eviction and exactness upgrades). */
     size_t rowsBuilt() const
     {
         return rows_built_.load(std::memory_order_relaxed);
@@ -216,11 +268,27 @@ class DecodingGraph
     std::vector<uint8_t> obs_; // parities, same indexing; bytes so
                                // parallel row fills don't share words
                                // across rows
+    /** Drop least-recently-used rows until the pool fits the budget. */
+    void enforceRowBudget() const;
+
     // Sparse backend only: lazily built, immutable-once-published rows.
-    mutable std::vector<std::atomic<const Row *>> rows_;
+    // Slots are atomic shared_ptrs so the budget can evict concurrently
+    // with readers; per-slot use stamps drive the LRU choice. While no
+    // budget has ever been set (the default), readers take a lock-free
+    // raw-pointer fast path instead (fast_rows_ mirrors the slots, and
+    // rows displaced by exactness upgrades are retired, not freed, so
+    // non-owning readers stay safe); the first setRowBudget permanently
+    // switches readers to owned handles.
+    mutable std::vector<std::atomic<std::shared_ptr<const Row>>> rows_;
+    mutable std::vector<std::atomic<const Row *>> fast_rows_;
+    mutable std::vector<std::atomic<uint64_t>> row_stamp_;
+    mutable std::atomic<uint64_t> row_tick_{0};
     mutable std::atomic<size_t> rows_built_{0};
-    mutable std::mutex retired_mutex_;
-    mutable std::vector<const Row *> retired_; ///< freed in ~DecodingGraph
+    mutable std::atomic<size_t> rows_resident_{0};
+    std::atomic<size_t> row_budget_{0};      ///< 0 = unbounded
+    std::atomic<bool> row_budget_ever_{false};
+    mutable std::mutex evict_mutex_;
+    mutable std::vector<std::shared_ptr<const Row>> retired_;
 };
 
 } // namespace surf

@@ -2,18 +2,36 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
+#include <cstring>
 
 #include "decode/blossom.hh"
+#include "decode/match_weights.hh"
 #include "util/logging.hh"
 
 namespace surf {
 
 namespace {
 
-/** Integer weight scale shared by both backends. */
-constexpr double kScale = 1024.0;
+int64_t
+quantizeW(double w)
+{
+    return quantizeMatchWeight(w);
+}
 
 } // namespace
+
+size_t
+defaultBlossomThreshold()
+{
+    static const size_t def = [] {
+        const char *env = std::getenv("SURF_MATCHING_BACKEND");
+        if (env && std::strcmp(env, "rows") == 0)
+            return SIZE_MAX;
+        return size_t{0}; // automatic count + density heuristic
+    }();
+    return def;
+}
 
 bool
 MwpmDecoder::decode(const uint32_t *fired, size_t n_fired,
@@ -26,11 +44,39 @@ MwpmDecoder::decode(const uint32_t *fired, size_t n_fired,
         if (l >= 0)
             defects.push_back(l);
     }
+    // Both sparse paths rely on ascending defect node ids (the rows
+    // path's lo/hi pair cells, the matcher's binary-searched landing
+    // collisions). Sorted fired lists (the simulator's CSR output) pass
+    // the check for free; arbitrary callers get sorted here.
+    if (!std::is_sorted(defects.begin(), defects.end()))
+        std::sort(defects.begin(), defects.end());
+    scratch.lastWeight = 0;
     if (defects.empty())
         return false;
-    return graph_.backend() == MatchingBackend::Dense
-               ? decodeDense(scratch)
-               : decodeSparse(scratch);
+    switch (graph_.backend()) {
+      case MatchingBackend::Dense:
+        return decodeDense(scratch);
+      case MatchingBackend::SparseBlossom:
+        return decodeSparseBlossom(scratch);
+      case MatchingBackend::Sparse:
+      default:
+        // Burst dispatch: past the threshold the matrix-free matcher
+        // avoids the k x k weight matrix and the dense O(k^3) blossom.
+        // Fully-exact mode (truncation SIZE_MAX) keeps the rows path on
+        // every shot — its contract is bit-identity with Dense, which
+        // the matcher only guarantees up to equal-weight ties.
+        return defects.size() >= blossomThreshold() &&
+                       truncate_k_ != SIZE_MAX
+                   ? decodeSparseBlossom(scratch)
+                   : decodeSparse(scratch);
+    }
+}
+
+bool
+MwpmDecoder::decodeSparseBlossom(MwpmScratch &scratch) const
+{
+    return sparseBlossomDecode(graph_, scratch.defects, scratch.blossom,
+                               &scratch.lastWeight);
 }
 
 bool
@@ -45,16 +91,24 @@ MwpmDecoder::decodeDense(MwpmScratch &scratch) const
     // matching pairs the defect with its boundary copy. k = 2: either
     // both defects match each other (their virtuals pair for free) or
     // each goes to the boundary; pick the lighter total.
-    if (k == 1)
+    if (k == 1) {
+        const double db = graph_.dist(defects[0], bnode);
+        if (std::isfinite(db))
+            scratch.lastWeight = quantizeW(db);
         return graph_.obsParity(defects[0], bnode);
+    }
     if (k == 2) {
         const double pair_w = graph_.dist(defects[0], defects[1]);
         const double bdry_w =
             graph_.dist(defects[0], bnode) + graph_.dist(defects[1], bnode);
-        if (pair_w <= bdry_w)
-            return std::isfinite(pair_w)
-                       ? graph_.obsParity(defects[0], defects[1])
-                       : false;
+        if (pair_w <= bdry_w) {
+            if (!std::isfinite(pair_w))
+                return false;
+            scratch.lastWeight = quantizeW(pair_w);
+            return graph_.obsParity(defects[0], defects[1]);
+        }
+        scratch.lastWeight = quantizeW(graph_.dist(defects[0], bnode)) +
+                             quantizeW(graph_.dist(defects[1], bnode));
         return graph_.obsParity(defects[0], bnode) ^
                graph_.obsParity(defects[1], bnode);
     }
@@ -73,7 +127,9 @@ MwpmDecoder::decodeDense(MwpmScratch &scratch) const
             const double d = graph_.dist(defects[static_cast<size_t>(i)],
                                          defects[static_cast<size_t>(j)]);
             if (std::isfinite(d)) {
-                const auto iw = static_cast<int64_t>(std::llround(d * kScale));
+                const int64_t iw = perturbedMatchWeight(
+                    d, defects[static_cast<size_t>(i)],
+                    defects[static_cast<size_t>(j)]);
                 at(i, j) = iw;
                 at(j, i) = iw;
             }
@@ -81,7 +137,8 @@ MwpmDecoder::decodeDense(MwpmScratch &scratch) const
         const double db =
             graph_.dist(defects[static_cast<size_t>(i)], bnode);
         if (std::isfinite(db)) {
-            const auto iw = static_cast<int64_t>(std::llround(db * kScale));
+            const int64_t iw = perturbedMatchWeight(
+                db, defects[static_cast<size_t>(i)], bnode);
             at(i, k + i) = iw;
             at(k + i, i) = iw;
         }
@@ -95,18 +152,26 @@ MwpmDecoder::decodeDense(MwpmScratch &scratch) const
     if (!minWeightPerfectMatching(n, w, scratch.mate)) {
         // No perfect matching (disconnected leftovers): fall back to
         // matching every defect to the boundary.
-        for (int i = 0; i < k; ++i)
+        for (int i = 0; i < k; ++i) {
             obs ^= graph_.obsParity(defects[static_cast<size_t>(i)], bnode);
+            const double db =
+                graph_.dist(defects[static_cast<size_t>(i)], bnode);
+            if (std::isfinite(db))
+                scratch.lastWeight += quantizeW(db);
+        }
         return obs;
     }
     for (int i = 0; i < k; ++i) {
         const int m = scratch.mate[static_cast<size_t>(i)];
         if (m < k) {
-            if (m > i)
+            if (m > i) {
                 obs ^= graph_.obsParity(defects[static_cast<size_t>(i)],
                                         defects[static_cast<size_t>(m)]);
+                scratch.lastWeight += trueMatchWeight(at(i, m));
+            }
         } else {
             obs ^= graph_.obsParity(defects[static_cast<size_t>(i)], bnode);
+            scratch.lastWeight += trueMatchWeight(at(i, k + i));
         }
     }
     return obs;
@@ -144,8 +209,8 @@ MwpmDecoder::decodeSparse(MwpmScratch &sc) const
     sc.pathPar.assign(cols * cols, 0);
     sc.rows.clear();
     for (int i = 0; i < k; ++i)
-        sc.rows.push_back(&graph_.row(defects[static_cast<size_t>(i)],
-                                      exact, sc.dijkstra));
+        sc.rows.push_back(graph_.row(defects[static_cast<size_t>(i)],
+                                     exact, sc.dijkstra));
     for (int i = 0; i < k; ++i) {
         const DecodingGraph::Row &ri = *sc.rows[static_cast<size_t>(i)];
         const size_t bi = tri(i, k);
@@ -173,15 +238,23 @@ MwpmDecoder::decodeSparse(MwpmScratch &sc) const
 
     // Closed forms, identical to the dense backend (the table entries
     // are bit-equal to the dense tables' for these always-exact cases).
-    if (k == 1)
+    if (k == 1) {
+        if (std::isfinite(sc.pathDist[tri(0, 1)]))
+            sc.lastWeight = quantizeW(sc.pathDist[tri(0, 1)]);
         return sc.pathPar[tri(0, 1)] != 0;
+    }
     if (k == 2) {
         const double pair_w = sc.pathDist[tri(0, 1)];
         const double bdry_w = static_cast<double>(sc.pathDist[tri(0, 2)]) +
                               static_cast<double>(sc.pathDist[tri(1, 2)]);
-        if (pair_w <= bdry_w)
-            return std::isfinite(pair_w) ? sc.pathPar[tri(0, 1)] != 0
-                                         : false;
+        if (pair_w <= bdry_w) {
+            if (!std::isfinite(pair_w))
+                return false;
+            sc.lastWeight = quantizeW(pair_w);
+            return sc.pathPar[tri(0, 1)] != 0;
+        }
+        sc.lastWeight = quantizeW(sc.pathDist[tri(0, 2)]) +
+                        quantizeW(sc.pathDist[tri(1, 2)]);
         return (sc.pathPar[tri(0, 2)] ^ sc.pathPar[tri(1, 2)]) != 0;
     }
 
@@ -230,16 +303,17 @@ MwpmDecoder::decodeSparse(MwpmScratch &sc) const
                     continue;
                 const double d = sc.pathDist[tri(i, j)];
                 if (std::isfinite(d)) {
-                    const auto iw =
-                        static_cast<int64_t>(std::llround(d * kScale));
+                    const int64_t iw = perturbedMatchWeight(
+                        d, defects[static_cast<size_t>(i)],
+                        defects[static_cast<size_t>(j)]);
                     at(i, j) = iw;
                     at(j, i) = iw;
                 }
             }
             const double db = sc.pathDist[tri(i, k)];
             if (std::isfinite(db)) {
-                const auto iw =
-                    static_cast<int64_t>(std::llround(db * kScale));
+                const int64_t iw = perturbedMatchWeight(
+                    db, defects[static_cast<size_t>(i)], bnode);
                 at(i, k + i) = iw;
                 at(k + i, i) = iw;
             }
@@ -262,17 +336,23 @@ MwpmDecoder::decodeSparse(MwpmScratch &sc) const
     if (!found) {
         // Genuinely disconnected leftovers: fall back to matching every
         // defect to the boundary, exactly like the dense backend.
-        for (int i = 0; i < k; ++i)
+        for (int i = 0; i < k; ++i) {
             obs ^= sc.pathPar[tri(i, k)] != 0;
+            if (std::isfinite(sc.pathDist[tri(i, k)]))
+                sc.lastWeight += quantizeW(sc.pathDist[tri(i, k)]);
+        }
         return obs;
     }
     for (int i = 0; i < k; ++i) {
         const int m = sc.mate[static_cast<size_t>(i)];
         if (m < k) {
-            if (m > i)
+            if (m > i) {
                 obs ^= sc.pathPar[tri(i, m)] != 0;
+                sc.lastWeight += trueMatchWeight(at(i, m));
+            }
         } else {
             obs ^= sc.pathPar[tri(i, k)] != 0;
+            sc.lastWeight += trueMatchWeight(at(i, k + i));
         }
     }
     return obs;

@@ -37,10 +37,12 @@
 #ifndef SURF_DECODE_MWPM_HH
 #define SURF_DECODE_MWPM_HH
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
 #include "decode/graph.hh"
+#include "decode/sparse_blossom.hh"
 
 namespace surf {
 
@@ -48,6 +50,24 @@ namespace surf {
  *  stop after the K nearest fellow defects (plus the boundary), so any
  *  shot with at most K+1 defects is matched exactly. */
 inline constexpr size_t kDefaultNearestDefects = 16;
+
+/** Floor of the automatic sparse-blossom dispatch threshold: the Sparse
+ *  backend hands a shot to the matrix-free matcher when its defect
+ *  count reaches max(kDefaultBlossomDefects, numNodes() / 12). The
+ *  density guard is what separates the two regimes on real workloads:
+ *  a fired-defect count that is a sizable fraction of the whole graph
+ *  only happens for contiguous burst clusters (cosmic-ray events),
+ *  where ball growth stays a few edges wide and the matcher beats the
+ *  rows + k x k matrix + O(k^3) blossom pipeline at every measured
+ *  size — while scattered syndromes of any realistic count keep the
+ *  memoized-rows fast path. Override with setBlossomThreshold(). */
+inline constexpr size_t kDefaultBlossomDefects = 16;
+
+/** Process-wide default for the sparse-blossom dispatch: automatic
+ *  (count + density heuristic above), or never when
+ *  SURF_MATCHING_BACKEND=rows pins the rows pipeline. Returns SIZE_MAX
+ *  for "never", 0 for "automatic". */
+size_t defaultBlossomThreshold();
 
 /**
  * Reusable per-thread decode workspace. The defect list, the dense
@@ -72,9 +92,23 @@ struct MwpmScratch
     DijkstraScratch dijkstra;
     std::vector<float> pathDist;
     std::vector<uint8_t> pathPar;
-    std::vector<const DecodingGraph::Row *> rows;
+    /** Shared row handles held for the duration of one shot, so a row
+     *  budget eviction can never free a row mid-decode. */
+    std::vector<std::shared_ptr<const DecodingGraph::Row>> rows;
     std::vector<uint8_t> pairKeep; ///< K-nearest matrix truncation mask
     std::vector<std::pair<float, int>> nearCand;
+
+    // Matrix-free matcher arena (ball growth, candidate hash, blossom
+    // solver); used by the SparseBlossom backend and by burst shots the
+    // Sparse backend dispatches past the blossom threshold.
+    SparseBlossomScratch blossom;
+
+    /** Total weight of the last decode's matching, in the shared
+     *  quantization (sum of llround(w * 1024) over matched pair and
+     *  boundary paths). Identical across backends on every shot up to
+     *  the choice among equal-weight optima — the cross-backend
+     *  equivalence gates compare it directly. */
+    int64_t lastWeight = 0;
 };
 
 /** MWPM decoder for one basis tag of a detector error model. */
@@ -103,8 +137,32 @@ class MwpmDecoder
     void setTruncation(size_t k) { truncate_k_ = k ? k : 1; }
     size_t truncation() const { return truncate_k_; }
 
+    /** Fired-defect count at which Sparse-backend shots go to the
+     *  matrix-free sparse blossom (0 = always, SIZE_MAX = never). The
+     *  default is automatic: max(kDefaultBlossomDefects, nodes / 12) —
+     *  see blossomThreshold() for the resolved value. The SparseBlossom
+     *  backend ignores this and always uses the matcher; Dense always
+     *  uses the tables. */
+    void
+    setBlossomThreshold(size_t k)
+    {
+        blossom_threshold_ = k;
+        auto_threshold_ = false;
+    }
+    size_t
+    blossomThreshold() const
+    {
+        return auto_threshold_
+                   ? std::max(kDefaultBlossomDefects, graph_.numNodes() / 12)
+                   : blossom_threshold_;
+    }
+
     /** Rough heap footprint (cache accounting). */
     size_t memoryBytes() const { return graph_.memoryBytes(); }
+
+    /** LRU bound on the memoized Dijkstra row pool (see
+     *  DecodingGraph::setRowBudget); 0 = unbounded. */
+    void setRowBudget(size_t max_rows) { graph_.setRowBudget(max_rows); }
 
     /**
      * Decode one shot: `fired` points at `n_fired` fired detector ids
@@ -118,9 +176,12 @@ class MwpmDecoder
   private:
     bool decodeDense(MwpmScratch &scratch) const;
     bool decodeSparse(MwpmScratch &scratch) const;
+    bool decodeSparseBlossom(MwpmScratch &scratch) const;
 
     DecodingGraph graph_;
     size_t truncate_k_ = kDefaultNearestDefects;
+    size_t blossom_threshold_ = defaultBlossomThreshold();
+    bool auto_threshold_ = defaultBlossomThreshold() == 0;
 };
 
 } // namespace surf

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <chrono>
+#include <set>
+
+#include "util/logging.hh"
 
 namespace surf {
 
@@ -28,6 +31,17 @@ CachedSegment::dynamicBytes() const
     return mwpm ? mwpm->memoryBytes() : 0;
 }
 
+size_t
+CachedTimeline::memoryBytes() const
+{
+    size_t bytes = sizeof(CachedTimeline) +
+                   epochs.capacity() * sizeof(CachedTimelineEpoch);
+    for (const Instruction &ins : circuit.instructions())
+        bytes += sizeof(Instruction) +
+                 ins.targets.capacity() * sizeof(uint32_t);
+    return bytes;
+}
+
 std::shared_ptr<const CachedSegment>
 DeformedCodeCache::get(const std::string &key,
                        const std::function<CachedSegment()> &build)
@@ -36,6 +50,7 @@ DeformedCodeCache::get(const std::string &key,
     if (it != entries_.end()) {
         ++hits_;
         Entry &e = it->second;
+        SURF_ASSERT(e.seg, "segment lookup hit a timeline entry");
         // Re-measure the growable part on every hit: the sparse decoder
         // graphs grow as decode workers memoize Dijkstra rows, and a
         // byte budget must see that growth, not the at-insert size.
@@ -64,6 +79,92 @@ DeformedCodeCache::get(const std::string &key,
     touch(stored);
     enforceBudget(&stored);
     return stored.seg;
+}
+
+void
+DeformedCodeCache::refreshSegment(const std::string &key)
+{
+    const auto it = entries_.find(key);
+    if (it == entries_.end())
+        return; // evicted; charged to the pinning timeline instead
+    Entry &e = it->second;
+    if (!e.seg)
+        return;
+    const size_t bytes = e.static_bytes + e.seg->dynamicBytes();
+    bytes_used_ += bytes - e.bytes;
+    e.bytes = bytes;
+    touch(e);
+}
+
+size_t
+DeformedCodeCache::timelineBytes(const Entry &e) const
+{
+    size_t bytes = e.static_bytes;
+    // Count each orphaned segment once even when several epochs share
+    // it. (Distinct timelines pinning the same orphan still each charge
+    // it — overstating residency is the safe direction for a budget.)
+    std::set<const CachedSegment *> counted;
+    for (const CachedTimelineEpoch &ep : e.tl->epochs)
+        if (ep.seg && !ep.segKey.empty() && !entries_.count(ep.segKey) &&
+            counted.insert(ep.seg.get()).second)
+            bytes += ep.seg->memoryBytes();
+    return bytes;
+}
+
+std::shared_ptr<const CachedTimeline>
+DeformedCodeCache::getTimeline(const std::string &key,
+                               const std::function<CachedTimeline()> &build)
+{
+    auto it = entries_.find(key);
+    if (it != entries_.end()) {
+        ++hits_;
+        ++timeline_hits_;
+        Entry &e = it->second;
+        SURF_ASSERT(e.tl, "timeline lookup hit a segment entry");
+        // A warm hit skips the per-epoch get() calls, so keep the
+        // pinned segment entries live in the budget's eyes: re-measure
+        // their growable row pools and lift their LRU stamps. Segments
+        // whose own entries were evicted stay resident through the
+        // timeline's pins — re-measure charges them to this entry.
+        for (const CachedTimelineEpoch &ep : e.tl->epochs)
+            if (!ep.segKey.empty())
+                refreshSegment(ep.segKey);
+        const size_t bytes = timelineBytes(e);
+        bytes_used_ += bytes - e.bytes;
+        e.bytes = bytes;
+        touch(e);
+        enforceBudget(&e);
+        return e.tl;
+    }
+    ++misses_;
+    ++timeline_misses_;
+    const auto t0 = std::chrono::steady_clock::now();
+    const double nested0 = build_seconds_;
+    // The build resolves its per-epoch segments through get(), so it
+    // must run before this entry is inserted (the nested lookups mutate
+    // the map and may evict).
+    auto tl = std::make_shared<CachedTimeline>(build());
+    const double wall = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - t0)
+                            .count();
+    // The nested segment misses already logged their own build time and
+    // carry their own eviction priorities; this entry's cost is the
+    // stitching work on top of them (what a rebuild against cached
+    // segments would pay).
+    const double cost = std::max(0.0, wall - (build_seconds_ - nested0));
+    build_seconds_ += cost;
+    Entry entry;
+    entry.tl = std::move(tl);
+    entry.static_bytes = entry.tl->memoryBytes() + key.size();
+    entry.cost = cost;
+    Entry &stored = entries_.emplace(key, std::move(entry)).first->second;
+    // Segments evicted during this very build (tiny budgets) are
+    // already orphaned — charge them here like on a hit.
+    stored.bytes = timelineBytes(stored);
+    bytes_used_ += stored.bytes;
+    touch(stored);
+    enforceBudget(&stored);
+    return stored.tl;
 }
 
 void

@@ -54,6 +54,46 @@ struct CachedSegment
     size_t dynamicBytes() const;
 };
 
+/** One epoch of a memoized stitched timeline. */
+struct CachedTimelineEpoch
+{
+    uint64_t startRound = 0;
+    uint64_t rounds = 0;
+    size_t distX = 0, distZ = 0;
+    size_t activeDefects = 0;
+    size_t detBegin = 0; ///< detector range in the concatenated circuit
+    size_t detEnd = 0;
+    /** Decode-ready segment; pins the segment even if its own cache
+     *  entry is evicted while this timeline stays resident. */
+    std::shared_ptr<const CachedSegment> seg;
+    /** The segment's own cache key (empty when built uncached): warm
+     *  timeline hits touch these entries through it, so the pinned
+     *  segments keep fresh LRU stamps and re-measured byte counts even
+     *  though the per-epoch get() calls are skipped. */
+    std::string segKey;
+};
+
+/**
+ * One memoized stitched timeline: the concatenated sampling circuit
+ * (with seam prologues and oracle probes) plus the resolved decode
+ * segment of every epoch. Keyed by the epoch-plan signature, so every
+ * timeline pass with the same plan — the second and later repetitions
+ * of a sweep, and every quiet (event-free) timeline — skips seam
+ * classification and circuit stitching entirely.
+ */
+struct CachedTimeline
+{
+    /** False when a deformation window destroyed the logical qubit
+     *  (no continuation existed at some seam); the circuit is empty. */
+    bool alive = true;
+    Circuit circuit;
+    std::vector<CachedTimelineEpoch> epochs;
+
+    /** Approximate heap footprint, excluding the segments (they are
+     *  accounted by their own cache entries). */
+    size_t memoryBytes() const;
+};
+
 /** Signature-keyed store of decode-ready segments. */
 class DeformedCodeCache
 {
@@ -65,6 +105,17 @@ class DeformedCodeCache
      */
     std::shared_ptr<const CachedSegment>
     get(const std::string &key, const std::function<CachedSegment()> &build);
+
+    /**
+     * Timeline-level lookup: memoized stitched sampling circuits, same
+     * budget and eviction policy as the segment entries (a timeline's
+     * bytes exclude its segments, which keep their own entries; the
+     * build may itself call get() to resolve them). Keys live in the
+     * same namespace as segment keys — callers prefix them.
+     */
+    std::shared_ptr<const CachedTimeline>
+    getTimeline(const std::string &key,
+                const std::function<CachedTimeline()> &build);
 
     /**
      * Bound the cache: evict (cost-weighted LRU) until the approximate
@@ -79,6 +130,9 @@ class DeformedCodeCache
     uint64_t hits() const { return hits_; }
     uint64_t misses() const { return misses_; }
     uint64_t evictions() const { return evictions_; }
+    /** Timeline-level lookups (a subset of hits()/misses()). */
+    uint64_t timelineHits() const { return timeline_hits_; }
+    uint64_t timelineMisses() const { return timeline_misses_; }
     double
     hitRate() const
     {
@@ -94,13 +148,19 @@ class DeformedCodeCache
     /** Total seconds spent building entries (misses). */
     double buildSeconds() const { return build_seconds_; }
 
-    void resetStats() { hits_ = misses_ = evictions_ = 0; }
+    void
+    resetStats()
+    {
+        hits_ = misses_ = evictions_ = 0;
+        timeline_hits_ = timeline_misses_ = 0;
+    }
     void clear();
 
   private:
     struct Entry
     {
-        std::shared_ptr<const CachedSegment> seg;
+        std::shared_ptr<const CachedSegment> seg; ///< one of seg/tl set
+        std::shared_ptr<const CachedTimeline> tl;
         size_t bytes = 0;        ///< static_bytes + dynamic at last use
         size_t static_bytes = 0; ///< immutable part, measured at insert
         double cost = 0.0;       ///< measured build seconds
@@ -109,6 +169,12 @@ class DeformedCodeCache
 
     void touch(Entry &e);
     void enforceBudget(const Entry *pinned);
+    /** Re-measure + touch a segment entry by key (timeline hits). */
+    void refreshSegment(const std::string &key);
+    /** A timeline entry's current bytes: its static size plus every
+     *  pinned segment whose own entry was evicted (the pin keeps that
+     *  memory resident, so the budget charges it to the timeline). */
+    size_t timelineBytes(const Entry &e) const;
 
     std::map<std::string, Entry> entries_;
     size_t max_bytes_ = 0;   ///< 0 = unbounded
@@ -119,6 +185,8 @@ class DeformedCodeCache
     uint64_t hits_ = 0;
     uint64_t misses_ = 0;
     uint64_t evictions_ = 0;
+    uint64_t timeline_hits_ = 0;
+    uint64_t timeline_misses_ = 0;
 };
 
 } // namespace surf

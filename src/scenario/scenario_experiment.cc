@@ -42,13 +42,27 @@ noiseSignature(const NoiseParams &noise)
     return buf + coordSetSignature(noise.defectiveSites);
 }
 
+const char *
+backendTag(MatchingBackend b)
+{
+    switch (b) {
+      case MatchingBackend::Dense:
+        return "dense";
+      case MatchingBackend::SparseBlossom:
+        return "sblossom";
+      default:
+        return "sparse";
+    }
+}
+
 /** Canonical identity of one decode-ready segment (see the cache doc). */
 std::string
 segmentCacheKey(const std::string &prevSig, const std::string &curSig,
                 const std::set<Coord> &removedUntrusted,
                 const std::vector<Coord> &prevTracked,
                 const std::vector<Coord> &curTracked,
-                const SegmentSpec &spec, const NoiseParams &decoderNoise)
+                const SegmentSpec &spec, const NoiseParams &decoderNoise,
+                const ScenarioConfig &cfg)
 {
     std::string key = "cur:" + curSig + "\nprev:" + prevSig;
     key += "\nuntrusted:" + coordSetSignature(removedUntrusted);
@@ -61,6 +75,37 @@ segmentCacheKey(const std::string &prevSig, const std::string &curSig,
     key += spec.last ? " L" : "";
     key += (spec.basis == PauliType::Z) ? " bZ" : " bX";
     key += "\nnoise:" + noiseSignature(decoderNoise);
+    key += "\ndec:";
+    key += backendTag(cfg.matching);
+    key += " rb" + std::to_string(cfg.mwpmRowBudget);
+    return key;
+}
+
+/**
+ * Identity of a whole stitched timeline: the decode-relevant scenario
+ * config plus every epoch's structural signature, defect sets and
+ * placement. Everything the stitched circuit and its decode segments
+ * depend on is a pure function of this key, which is what makes
+ * timeline cache hits bit-identical to rebuilds.
+ */
+std::string
+timelineCacheKey(const ScenarioPlan &plan, const ScenarioConfig &cfg)
+{
+    std::string key = "tl:";
+    key += (cfg.basis == PauliType::Z) ? "bZ" : "bX";
+    if (cfg.decoderKnowsDefects)
+        key += " dk";
+    key += " dec:";
+    key += backendTag(cfg.matching);
+    key += " rb" + std::to_string(cfg.mwpmRowBudget);
+    key += "\nnoise:" + noiseSignature(cfg.noise);
+    for (const Epoch &ep : plan.epochs) {
+        key += "\n@" + std::to_string(ep.startRound) + "+" +
+               std::to_string(ep.rounds);
+        key += " act:" + coordSetSignature(ep.activeSites);
+        key += " res:" + coordSetSignature(ep.residualDefects);
+        key += "\n" + ep.structSig;
+    }
     return key;
 }
 
@@ -78,36 +123,25 @@ deadTimeline(const ScenarioConfig &cfg, size_t events)
 
 } // namespace
 
-TimelineStats
-runPlannedTimeline(const ScenarioPlan &plan, const ScenarioConfig &cfg,
-                   DeformedCodeCache &cache, uint64_t batchSeedBase,
-                   uint64_t failuresSoFar)
+/**
+ * Stitch one plan's concatenated sampling circuit and resolve its
+ * decode-ready segments (through the segment cache when enabled). Pure
+ * function of (plan, decode-relevant config): the timeline cache hands
+ * out memoized results keyed on exactly those.
+ */
+CachedTimeline
+buildStitchedTimeline(const ScenarioPlan &plan, const ScenarioConfig &cfg,
+                      DeformedCodeCache &cache, ThreadPool &pool)
 {
-    // A deformation window that destroyed the logical qubit makes every
-    // shot of the timeline a logical loss (deterministic, so the result
-    // stays invariant under threading and caching).
-    if (!plan.alive)
-        return deadTimeline(cfg, plan.numEvents);
-    TimelineStats tl;
-    tl.events = plan.numEvents;
-    SURF_ASSERT(!plan.epochs.empty(), "planned timeline has no epochs");
+    CachedTimeline out;
     const size_t n_epochs = plan.epochs.size();
     const uint8_t tag = (cfg.basis == PauliType::Z) ? 1 : 0;
-    ThreadPool pool(cfg.threads);
-
-    // --- Stitch the concatenated sampling circuit and resolve one
-    // decode-ready segment per epoch (cache hit or build). ---------------
-    Circuit ckt;
     std::map<Coord, uint32_t> qubit_id;
     SeamState carry;
     const CodePatch *prev_patch = nullptr;
     const std::string *prev_sig = nullptr;
     std::vector<Coord> tracked; ///< representative carried across seams
-    std::vector<size_t> det_begin(n_epochs), det_end(n_epochs);
-    // shared_ptr: a segment stays alive for this timeline even if the
-    // bounded cache evicts its entry while later epochs are resolved.
-    std::vector<std::shared_ptr<const CachedSegment>> segs(n_epochs);
-    tl.epochs.resize(n_epochs);
+    out.epochs.reserve(n_epochs);
 
     for (size_t e = 0; e < n_epochs; ++e) {
         const Epoch &ep = plan.epochs[e];
@@ -124,10 +158,14 @@ runPlannedTimeline(const ScenarioPlan &plan, const ScenarioConfig &cfg,
         const SeamPlan seam =
             computeSeamPlan(prev_patch, patch, cfg.basis, ep.activeSites,
                             ep.startRound, e ? &prev_tracked : nullptr);
-        if (!seam.obsCarryValid)
+        if (!seam.obsCarryValid) {
             // No continuation of the tracked logical exists in the new
             // code: the burst effectively destroyed the stored qubit.
-            return deadTimeline(cfg, plan.numEvents);
+            out.alive = false;
+            out.circuit = Circuit{};
+            out.epochs.clear();
+            return out;
+        }
         tracked = seam.trackedLogical;
 
         // Sampling view: residual defects inside the code, plus active
@@ -143,11 +181,9 @@ runPlannedTimeline(const ScenarioPlan &plan, const ScenarioConfig &cfg,
             }
 
         const SegmentResult res =
-            appendSegment(ckt, qubit_id, patch, spec, samp_noise, seam,
-                          e ? &carry : nullptr, false);
+            appendSegment(out.circuit, qubit_id, patch, spec, samp_noise,
+                          seam, e ? &carry : nullptr, false);
         carry = std::move(res.carry);
-        det_begin[e] = res.detBegin;
-        det_end[e] = res.detEnd;
         // Decoder view: defect-unaware unless configured otherwise.
         NoiseParams dec_noise = cfg.noise;
         dec_noise.defectiveSites = cfg.decoderKnowsDefects
@@ -160,35 +196,85 @@ runPlannedTimeline(const ScenarioPlan &plan, const ScenarioConfig &cfg,
             cs.circuit = buildStandaloneSegment(patch, standalone_spec,
                                                 dec_noise, seam, prev_patch);
             cs.dem = buildDem(cs.circuit, cfg.basis);
-            cs.mwpm = std::make_unique<MwpmDecoder>(cs.dem, tag, &pool);
+            cs.mwpm = std::make_unique<MwpmDecoder>(cs.dem, tag, &pool,
+                                                    cfg.matching);
+            if (cfg.mwpmRowBudget)
+                cs.mwpm->setRowBudget(cfg.mwpmRowBudget);
             cs.uf = std::make_unique<UnionFindDecoder>(cs.dem, tag);
             return cs;
         };
+        CachedTimelineEpoch ce;
         if (cfg.useCache) {
-            const std::string key = segmentCacheKey(
+            ce.segKey = segmentCacheKey(
                 prev_sig ? *prev_sig : std::string("-"), ep.structSig,
                 removed_untrusted, prev_tracked, seam.trackedLogical, spec,
-                dec_noise);
-            segs[e] = cache.get(key, build);
+                dec_noise, cfg);
+            ce.seg = cache.get(ce.segKey, build);
         } else {
-            segs[e] = std::make_shared<const CachedSegment>(build());
+            ce.seg = std::make_shared<const CachedSegment>(build());
         }
-        SURF_ASSERT(segs[e]->dem.numDetectors == det_end[e] - det_begin[e],
+        SURF_ASSERT(ce.seg->dem.numDetectors == res.detEnd - res.detBegin,
                     "standalone segment does not mirror the concatenated "
                     "detector range");
-
-        EpochStats &st = tl.epochs[e];
-        st.startRound = ep.startRound;
-        st.rounds = ep.rounds;
-        st.distX = ep.deformed.distX;
-        st.distZ = ep.deformed.distZ;
-        st.activeDefects = ep.activeSites.size();
-        st.numDetectors = det_end[e] - det_begin[e];
-        st.decomposedHyperedges = segs[e]->dem.decomposedComponents;
-        st.undetectableObsProb = segs[e]->dem.undetectableObsProb;
+        ce.startRound = ep.startRound;
+        ce.rounds = ep.rounds;
+        ce.distX = ep.deformed.distX;
+        ce.distZ = ep.deformed.distZ;
+        ce.activeDefects = ep.activeSites.size();
+        ce.detBegin = res.detBegin;
+        ce.detEnd = res.detEnd;
+        out.epochs.push_back(std::move(ce));
 
         prev_patch = &patch;
         prev_sig = &ep.structSig;
+    }
+    return out;
+}
+
+TimelineStats
+runPlannedTimeline(const ScenarioPlan &plan, const ScenarioConfig &cfg,
+                   DeformedCodeCache &cache, uint64_t batchSeedBase,
+                   uint64_t failuresSoFar)
+{
+    // A deformation window that destroyed the logical qubit makes every
+    // shot of the timeline a logical loss (deterministic, so the result
+    // stays invariant under threading and caching).
+    if (!plan.alive)
+        return deadTimeline(cfg, plan.numEvents);
+    TimelineStats tl;
+    tl.events = plan.numEvents;
+    SURF_ASSERT(!plan.epochs.empty(), "planned timeline has no epochs");
+    ThreadPool pool(cfg.threads);
+
+    // --- Resolve the stitched timeline: one lookup covers the seam
+    // classification, circuit stitching and every per-epoch decode
+    // segment. Warm sweeps and quiet (event-free) timelines skip
+    // straight to sampling. ----------------------------------------------
+    std::shared_ptr<const CachedTimeline> tlc;
+    if (cfg.useCache) {
+        tlc = cache.getTimeline(timelineCacheKey(plan, cfg), [&] {
+            return buildStitchedTimeline(plan, cfg, cache, pool);
+        });
+    } else {
+        tlc = std::make_shared<const CachedTimeline>(
+            buildStitchedTimeline(plan, cfg, cache, pool));
+    }
+    if (!tlc->alive)
+        return deadTimeline(cfg, plan.numEvents);
+    const Circuit &ckt = tlc->circuit;
+    const size_t n_epochs = tlc->epochs.size();
+    tl.epochs.resize(n_epochs);
+    for (size_t e = 0; e < n_epochs; ++e) {
+        const CachedTimelineEpoch &ce = tlc->epochs[e];
+        EpochStats &st = tl.epochs[e];
+        st.startRound = ce.startRound;
+        st.rounds = ce.rounds;
+        st.distX = ce.distX;
+        st.distZ = ce.distZ;
+        st.activeDefects = ce.activeDefects;
+        st.numDetectors = ce.detEnd - ce.detBegin;
+        st.decomposedHyperedges = ce.seg->dem.decomposedComponents;
+        st.undetectableObsProb = ce.seg->dem.undetectableObsProb;
     }
 
     // --- Batched sampling + sharded per-epoch decode ---------------------
@@ -232,34 +318,35 @@ runPlannedTimeline(const ScenarioPlan &plan, const ScenarioConfig &cfg,
                 size_t idx = 0;
                 bool total = false;
                 for (size_t e = 0; e < n_epochs; ++e) {
+                    const CachedTimelineEpoch &ce = tlc->epochs[e];
                     // Detector ranges are contiguous and ascending, so one
                     // sweep slices the sorted fired list per epoch.
                     auto &ids = local_ids[worker];
                     ids.clear();
-                    while (idx < n_fired && fired[idx] < det_end[e]) {
+                    while (idx < n_fired && fired[idx] < ce.detEnd) {
                         ids.push_back(static_cast<uint32_t>(fired[idx] -
-                                                            det_begin[e]));
+                                                            ce.detBegin));
                         ++idx;
                     }
                     bool predicted;
                     switch (cfg.decoder) {
                       case DecoderKind::Mwpm:
-                        predicted = segs[e]->mwpm->decode(
+                        predicted = ce.seg->mwpm->decode(
                             ids.data(), ids.size(), mwpm_scratch[worker]);
                         break;
                       case DecoderKind::UnionFind:
-                        predicted = segs[e]->uf->decode(
+                        predicted = ce.seg->uf->decode(
                             ids.data(), ids.size(), uf_scratch[worker]);
                         break;
                       case DecoderKind::Auto:
                       default:
                         predicted =
                             (ids.size() <= cfg.mwpmDefectCap)
-                                ? segs[e]->mwpm->decode(ids.data(),
-                                                        ids.size(),
-                                                        mwpm_scratch[worker])
-                                : segs[e]->uf->decode(ids.data(), ids.size(),
-                                                      uf_scratch[worker]);
+                                ? ce.seg->mwpm->decode(ids.data(),
+                                                       ids.size(),
+                                                       mwpm_scratch[worker])
+                                : ce.seg->uf->decode(ids.data(), ids.size(),
+                                                     uf_scratch[worker]);
                         break;
                     }
                     // Oracle truth of this epoch: frame accumulated on its

@@ -49,6 +49,16 @@ struct ScenarioConfig
     PauliType basis = PauliType::Z;
     DecoderKind decoder = DecoderKind::Auto;
     size_t mwpmDefectCap = 120; ///< Auto: per-epoch defect cap for MWPM
+    /** Matching backend of the per-epoch MWPM decoders (part of the
+     *  decode-segment cache identity). The default Sparse backend
+     *  dispatches burst shots to the matrix-free sparse blossom past
+     *  the decoder's defect threshold; Dense/SparseBlossom pin one
+     *  path for every shot. */
+    MatchingBackend matching = defaultMatchingBackend();
+    /** LRU bound on each cached decoder's memoized Dijkstra row pool
+     *  (rows per graph; 0 = unbounded). Caps decoder memory on long
+     *  high-distance sweeps without changing any result. */
+    size_t mwpmRowBudget = 0;
     uint64_t maxShotsPerTimeline = 4096;
     uint64_t targetFailures = UINT64_MAX; ///< stop early once reached
     size_t batchShots = 4096;

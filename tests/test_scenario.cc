@@ -294,19 +294,29 @@ TEST(ScenarioEngine, CacheAndThreadCountDoNotChangeResults)
     }
 }
 
-TEST(ScenarioEngine, SharedCacheReusesSegmentsAcrossTimelines)
+TEST(ScenarioEngine, SharedCacheReusesStitchedTimelinesAndSegments)
 {
     const ScenarioPlan plan = strikePlan(5, 2, 9, 17, 27, {5, 5}, 2);
     ScenarioConfig cfg = deformationScenarioConfig();
     cfg.maxShotsPerTimeline = 128;
     DeformedCodeCache cache;
-    runPlannedTimeline(plan, cfg, cache, cfg.seed, 0);
+    // Cold pass: one timeline miss whose build resolves three segment
+    // misses (4 lookups total, all cold).
+    const TimelineStats cold =
+        runPlannedTimeline(plan, cfg, cache, cfg.seed, 0);
     EXPECT_EQ(cache.hits(), 0u);
-    EXPECT_EQ(cache.misses(), 3u);
-    // The same timeline again: every segment is already decode-ready.
-    runPlannedTimeline(plan, cfg, cache, cfg.seed + 1, 0);
-    EXPECT_EQ(cache.hits(), 3u);
-    EXPECT_EQ(cache.misses(), 3u);
+    EXPECT_EQ(cache.misses(), 4u);
+    EXPECT_EQ(cache.timelineMisses(), 1u);
+    // The same plan again: the stitched circuit and every decode-ready
+    // segment come back from one timeline hit — no seam classification,
+    // no stitching, no segment lookups.
+    const TimelineStats warm =
+        runPlannedTimeline(plan, cfg, cache, cfg.seed, 0);
+    EXPECT_EQ(cache.hits(), 1u);
+    EXPECT_EQ(cache.misses(), 4u);
+    EXPECT_EQ(cache.timelineHits(), 1u);
+    // Same seed schedule => bit-identical physics through the cache.
+    EXPECT_EQ(warm.failures, cold.failures);
 }
 
 TEST(ScenarioEngine, CacheEvictionNeverChangesResults)
@@ -331,8 +341,8 @@ TEST(ScenarioEngine, CacheEvictionNeverChangesResults)
         runPlannedTimeline(plan, cfg, bounded, cfg.seed, 0);
     EXPECT_EQ(tl.failures, ref.failures);
     EXPECT_EQ(bounded.size(), 1u);
-    EXPECT_EQ(bounded.evictions(), 2u);
-    EXPECT_EQ(bounded.misses(), 3u);
+    EXPECT_EQ(bounded.evictions(), 3u);
+    EXPECT_EQ(bounded.misses(), 4u);
 
     // Same through the public API on sampled multi-epoch timelines: a
     // byte budget far below one entry still produces identical physics,

@@ -15,10 +15,14 @@
 #include <set>
 
 #include "baselines/strategies.hh"
+#include "burst_syndromes.hh"
+#include "decode/blossom.hh"
 #include "decode/memory_experiment.hh"
 #include "decode/mwpm.hh"
+#include "decode/sparse_blossom.hh"
 #include "decode/union_find.hh"
 #include "lattice/rotated.hh"
+#include "scenario/scenario_experiment.hh"
 #include "sim/dem.hh"
 #include "sim/frame.hh"
 #include "sim/syndrome_circuit.hh"
@@ -164,7 +168,8 @@ TEST(SparseMatching, MemoizedRowsMatchDenseTables)
         // Exact rows: bit-identical to the dense table, entry for
         // entry. (Parity witnesses are compared for targets >= src,
         // where the dense table stores the src-rooted path.)
-        const DecodingGraph::Row &ex = exact_rows.row(src, true, sc);
+        const auto ex_p = exact_rows.row(src, true, sc);
+        const DecodingGraph::Row &ex = *ex_p;
         EXPECT_EQ(ex.radius, DecodingGraph::kInf);
         for (int t = 0; t <= n; ++t) {
             const double dd = dense.dist(src, t);
@@ -185,7 +190,8 @@ TEST(SparseMatching, MemoizedRowsMatchDenseTables)
 
         // Bounded rows: radius-capped at 2 d(src, B); everything within
         // the radius is present with the dense table's exact value.
-        const DecodingGraph::Row &bd = bounded_rows.row(src, false, sc);
+        const auto bd_p = bounded_rows.row(src, false, sc);
+        const DecodingGraph::Row &bd = *bd_p;
         const double db = dense.dist(src, bnode);
         ASSERT_TRUE(std::isfinite(db));
         EXPECT_GE(bd.radius, 2.0 * db);
@@ -200,7 +206,8 @@ TEST(SparseMatching, MemoizedRowsMatchDenseTables)
         }
 
         // Asking the bounded graph for an exact row upgrades in place.
-        const DecodingGraph::Row &up = bounded_rows.row(src, true, sc);
+        const auto up_p = bounded_rows.row(src, true, sc);
+        const DecodingGraph::Row &up = *up_p;
         EXPECT_EQ(up.radius, DecodingGraph::kInf);
         for (int t = 0; t <= n; ++t)
             ASSERT_EQ(static_cast<double>(up.dist[static_cast<size_t>(t)]),
@@ -284,6 +291,301 @@ TEST(SparseMatching, UnionFindUnchangedByBackendChoice)
         (void)mwpm_dense.decode(syndromes.data(s), syndromes.count(s), ms);
         (void)mwpm_sparse.decode(syndromes.data(s), syndromes.count(s), ms);
     }
+}
+
+TEST(SparseBlossom, SolverMatchesDenseBlossomOnRandomGraphs)
+{
+    // The adjacency-list blossom solver must be exact: on every random
+    // sparse graph it reports a perfect matching iff the dense blossom
+    // does, with identical total weight (the matchings themselves may
+    // differ among equal-weight optima).
+    Rng rng(0xb1055);
+    SparseMatcherScratch scratch;
+    std::vector<int> smate;
+    for (int trial = 0; trial < 400; ++trial) {
+        const int n = 2 * static_cast<int>(1 + rng.below(10)); // 2..20
+        std::vector<SparseMatchEdge> edges;
+        std::vector<int64_t> w(static_cast<size_t>(n) * n, kMatchForbidden);
+        // Sparse-ish edge count, duplicates allowed (cheapest wins).
+        const size_t m = rng.below(static_cast<uint64_t>(2 * n) + 1);
+        for (size_t e = 0; e < m; ++e) {
+            const int a = static_cast<int>(rng.below(n));
+            const int b = static_cast<int>(rng.below(n));
+            if (a == b)
+                continue;
+            const auto wt = static_cast<int64_t>(rng.below(1000));
+            edges.push_back({a, b, wt});
+            auto &slot = w[static_cast<size_t>(a) * n + b];
+            auto &slot2 = w[static_cast<size_t>(b) * n + a];
+            slot = std::min(slot, wt);
+            slot2 = std::min(slot2, wt);
+        }
+        std::vector<int> dmate;
+        const bool dok = minWeightPerfectMatching(n, w, dmate);
+        int64_t stotal = -1;
+        const bool sok = sparseMinWeightPerfectMatching(n, edges, scratch,
+                                                        smate, &stotal);
+        ASSERT_EQ(dok, sok) << "trial " << trial << " n " << n;
+        if (!dok)
+            continue;
+        int64_t dtotal = 0;
+        for (int v = 0; v < n; ++v) {
+            ASSERT_GE(smate[static_cast<size_t>(v)], 0);
+            ASSERT_EQ(smate[static_cast<size_t>(
+                          smate[static_cast<size_t>(v)])],
+                      v)
+                << "trial " << trial;
+            if (dmate[static_cast<size_t>(v)] > v)
+                dtotal += w[static_cast<size_t>(v) * n +
+                            dmate[static_cast<size_t>(v)]];
+        }
+        ASSERT_EQ(stotal, dtotal) << "trial " << trial << " n " << n;
+    }
+}
+
+TEST(SparseBlossom, SolverHandlesDenseTieHeavyGraphs)
+{
+    // Near-complete graphs with tiny weight ranges produce many blossoms
+    // and equal-weight optima — the stress case for contraction and
+    // expansion. Weight equality with the dense blossom must still hold.
+    Rng rng(0x70505);
+    SparseMatcherScratch scratch;
+    std::vector<int> smate;
+    for (int trial = 0; trial < 150; ++trial) {
+        const int n = 2 * static_cast<int>(2 + rng.below(7)); // 4..16
+        std::vector<SparseMatchEdge> edges;
+        std::vector<int64_t> w(static_cast<size_t>(n) * n, kMatchForbidden);
+        for (int a = 0; a < n; ++a)
+            for (int b = a + 1; b < n; ++b) {
+                if (rng.below(5) == 0)
+                    continue; // drop ~20% of pairs
+                const auto wt = static_cast<int64_t>(rng.below(4));
+                edges.push_back({a, b, wt});
+                w[static_cast<size_t>(a) * n + b] = wt;
+                w[static_cast<size_t>(b) * n + a] = wt;
+            }
+        std::vector<int> dmate;
+        const bool dok = minWeightPerfectMatching(n, w, dmate);
+        int64_t stotal = -1;
+        const bool sok = sparseMinWeightPerfectMatching(n, edges, scratch,
+                                                        smate, &stotal);
+        ASSERT_EQ(dok, sok) << "trial " << trial << " n " << n;
+        if (!dok)
+            continue;
+        int64_t dtotal = 0;
+        for (int v = 0; v < n; ++v)
+            if (dmate[static_cast<size_t>(v)] > v)
+                dtotal += w[static_cast<size_t>(v) * n +
+                            dmate[static_cast<size_t>(v)]];
+        ASSERT_EQ(stotal, dtotal) << "trial " << trial << " n " << n;
+    }
+}
+
+TEST(SparseBlossom, WeightEqualsDenseOnRandomDems)
+{
+    // The matrix-free matcher must produce matchings of exactly the
+    // dense blossom's total weight on every shot — including graphs
+    // with boundary-free islands (forbidden pairs) and boundary-heavy
+    // regions. Predictions may differ only among equal-weight optima.
+    Rng rng(0xbeefb105);
+    size_t checked = 0, pred_diff = 0;
+    for (int trial = 0; trial < 30; ++trial) {
+        const DetectorErrorModel dem = randomDem(rng);
+        for (uint8_t tag : {0, 1}) {
+            const MwpmDecoder dense(dem, tag, nullptr,
+                                    MatchingBackend::Dense);
+            const MwpmDecoder sb(dem, tag, nullptr,
+                                 MatchingBackend::SparseBlossom);
+            ASSERT_EQ(sb.backend(), MatchingBackend::SparseBlossom);
+            MwpmScratch ds, ss;
+            for (int shot = 0; shot < 40; ++shot) {
+                std::set<uint32_t> fired_set;
+                const size_t n = rng.below(14);
+                for (size_t i = 0; i < n; ++i)
+                    fired_set.insert(
+                        static_cast<uint32_t>(rng.below(dem.numDetectors)));
+                const std::vector<uint32_t> fired(fired_set.begin(),
+                                                  fired_set.end());
+                const bool dp = dense.decode(fired.data(), fired.size(), ds);
+                const bool sp = sb.decode(fired.data(), fired.size(), ss);
+                ASSERT_EQ(ds.lastWeight, ss.lastWeight)
+                    << "trial " << trial << " tag " << int(tag) << " shot "
+                    << shot << " k " << fired.size();
+                ++checked;
+                pred_diff += dp != sp;
+            }
+        }
+    }
+    // Differing predictions can only come from equal-weight optima with
+    // different parity; they must stay rare even on random weights.
+    EXPECT_LE(pred_diff, checked / 20)
+        << "matcher diverges from dense far more often than equal-weight "
+           "ties can explain";
+}
+
+TEST(SparseBlossom, WeightEqualsDenseOnDeformedPatchBothBases)
+{
+    const auto out = applyStrategy(Strategy::SurfDeformer, 5, 2,
+                                   {{5, 5}, {6, 6}});
+    ASSERT_TRUE(out.alive);
+    for (PauliType basis : {PauliType::Z, PauliType::X}) {
+        MemorySpec spec;
+        spec.rounds = 5;
+        spec.basis = basis;
+        NoiseParams noise;
+        noise.p = 4e-3;
+        const BuiltCircuit built = buildMemoryCircuit(out.patch, spec, noise);
+        const auto dem = buildDem(built.circuit, basis);
+        const uint8_t tag = (basis == PauliType::Z) ? 1 : 0;
+        const MwpmDecoder dense(dem, tag, nullptr, MatchingBackend::Dense);
+        const MwpmDecoder sb(dem, tag, nullptr,
+                             MatchingBackend::SparseBlossom);
+        FrameSimulator sim(built.circuit, 1200, 0xc0de);
+        const SparseSyndromes syndromes = sim.sparseFiredDetectors();
+        MwpmScratch ds, ss;
+        size_t pred_diff = 0;
+        for (size_t s = 0; s < sim.shots(); ++s) {
+            const bool dp =
+                dense.decode(syndromes.data(s), syndromes.count(s), ds);
+            const bool sp =
+                sb.decode(syndromes.data(s), syndromes.count(s), ss);
+            ASSERT_EQ(ds.lastWeight, ss.lastWeight)
+                << "basis " << (basis == PauliType::Z ? "Z" : "X")
+                << " shot " << s << " k " << syndromes.count(s);
+            pred_diff += dp != sp;
+        }
+        // Real surface-code weights rarely tie: predictions should
+        // agree essentially always.
+        EXPECT_LE(pred_diff, sim.shots() / 100);
+    }
+}
+
+TEST(SparseBlossom, BurstSyndromeWeightEqualityAtHighDefectCounts)
+{
+    // High-defect burst syndromes on a deformed d=9 patch: clusters of
+    // 16..96 fired detectors (the paper's cosmic-ray events light up
+    // whole regions). Weight equality with the dense blossom must hold
+    // at every size, through the Sparse backend's dispatch as well.
+    const auto out = applyStrategy(Strategy::SurfDeformer, 9, 2, {{8, 9}});
+    ASSERT_TRUE(out.alive);
+    MemorySpec spec;
+    spec.rounds = 9;
+    NoiseParams noise;
+    noise.p = 2e-3;
+    const BuiltCircuit built = buildMemoryCircuit(out.patch, spec, noise);
+    const auto dem = buildDem(built.circuit, PauliType::Z);
+    const MwpmDecoder dense(dem, 1, nullptr, MatchingBackend::Dense);
+    const MwpmDecoder sb(dem, 1, nullptr, MatchingBackend::SparseBlossom);
+    MwpmDecoder dispatch(dem, 1, nullptr, MatchingBackend::Sparse);
+    dispatch.setBlossomThreshold(8);
+    Rng rng(0xbadc0de);
+    MwpmScratch ds, ss, ps;
+    for (size_t target : {16u, 32u, 64u, 96u}) {
+        for (int rep = 0; rep < 8; ++rep) {
+            const std::vector<uint32_t> fired =
+                benchutil::burstCluster(dem, dense.graph(), target, rng);
+            ASSERT_GE(fired.size(), target / 2);
+            (void)dense.decode(fired.data(), fired.size(), ds);
+            (void)sb.decode(fired.data(), fired.size(), ss);
+            (void)dispatch.decode(fired.data(), fired.size(), ps);
+            ASSERT_EQ(ds.lastWeight, ss.lastWeight)
+                << "cluster " << target << " rep " << rep << " k "
+                << fired.size();
+            ASSERT_EQ(ds.lastWeight, ps.lastWeight)
+                << "dispatch path, cluster " << target << " rep " << rep;
+        }
+    }
+}
+
+TEST(SparseBlossom, ScenarioFailureCountsIdenticalAcrossBackends)
+{
+    // The cosmic-ray scenario workload decoded with each of the three
+    // matching backends: identical failure counts and per-epoch
+    // mismatch tallies. (Weight equality is exact; on this workload the
+    // equal-weight tie-breaks happen to agree as well.)
+    ScenarioConfig cfg;
+    cfg.timeline.strategy = Strategy::SurfDeformer;
+    cfg.timeline.d = 5;
+    cfg.timeline.deltaD = 2;
+    cfg.timeline.horizonRounds = 60;
+    cfg.timeline.windowRounds = 10;
+    cfg.timeline.maxEpochRounds = 10;
+    cfg.defectModel.durationSec = 20e-6;
+    cfg.defectModel.regionDiameter = 2;
+    cfg.eventRateScale = 100000.0;
+    cfg.numTimelines = 4;
+    cfg.noise.p = 4e-3;
+    cfg.maxShotsPerTimeline = 96;
+    cfg.batchShots = 96;
+    cfg.seed = 0x5ce7a210;
+    cfg.decoder = DecoderKind::Mwpm;
+
+    bool have_ref = false;
+    uint64_t ref_failures = 0;
+    std::vector<uint64_t> ref_mism;
+    for (MatchingBackend b :
+         {MatchingBackend::Dense, MatchingBackend::Sparse,
+          MatchingBackend::SparseBlossom}) {
+        cfg.matching = b;
+        const ScenarioResult res = runScenarioExperiment(cfg);
+        EXPECT_GT(res.shots, 0u);
+        std::vector<uint64_t> mism;
+        for (const auto &tl : res.timelines)
+            for (const auto &ep : tl.epochs)
+                mism.push_back(ep.mismatches);
+        if (!have_ref) {
+            ref_failures = res.failures;
+            ref_mism = mism;
+            have_ref = true;
+            EXPECT_GT(res.failures, 0u)
+                << "workload too quiet to distinguish backends";
+        } else {
+            EXPECT_EQ(res.failures, ref_failures)
+                << "backend " << static_cast<int>(b);
+            EXPECT_EQ(mism, ref_mism) << "backend " << static_cast<int>(b);
+        }
+    }
+}
+
+TEST(SparseMatching, RowBudgetBoundsResidencyWithoutChangingResults)
+{
+    // The LRU row budget caps how many memoized Dijkstra rows stay
+    // resident. Rows are pure functions of their source node, so a
+    // budgeted decoder must predict identically (and report identical
+    // matched weights) to an unbudgeted one on every shot.
+    MemorySpec spec;
+    spec.rounds = 5;
+    NoiseParams noise;
+    noise.p = 8e-3; // busy syndromes: many distinct row sources
+    const BuiltCircuit built = buildMemoryCircuit(squarePatch(7), spec, noise);
+    const auto dem = buildDem(built.circuit, PauliType::Z);
+    const MwpmDecoder free_rows(dem, 1, nullptr, MatchingBackend::Sparse);
+    MwpmDecoder budgeted(dem, 1, nullptr, MatchingBackend::Sparse);
+    budgeted.setRowBudget(12);
+    EXPECT_EQ(budgeted.graph().rowBudget(), 12u);
+    FrameSimulator sim(built.circuit, 600, 0xb0d6e7);
+    const SparseSyndromes syndromes = sim.sparseFiredDetectors();
+    MwpmScratch fs, bs;
+    for (size_t s = 0; s < sim.shots(); ++s) {
+        const bool a =
+            free_rows.decode(syndromes.data(s), syndromes.count(s), fs);
+        const bool b =
+            budgeted.decode(syndromes.data(s), syndromes.count(s), bs);
+        ASSERT_EQ(a, b) << "shot " << s;
+        ASSERT_EQ(fs.lastWeight, bs.lastWeight) << "shot " << s;
+        ASSERT_LE(budgeted.graph().rowsResident(), 12u) << "shot " << s;
+    }
+    // The budget forced evictions: more rows were built than can stay.
+    EXPECT_GT(budgeted.graph().rowsBuilt(),
+              budgeted.graph().rowsResident());
+    EXPECT_GT(free_rows.graph().rowsResident(), 12u);
+    // Memory accounting follows residency, not total builds.
+    EXPECT_LT(budgeted.graph().memoryBytes(),
+              free_rows.graph().memoryBytes());
+
+    // Tightening the budget evicts immediately.
+    budgeted.setRowBudget(4);
+    EXPECT_LE(budgeted.graph().rowsResident(), 4u);
 }
 
 TEST(SparseMatching, D13MemoryExperimentSmoke)
