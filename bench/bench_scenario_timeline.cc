@@ -8,9 +8,17 @@
  * for both modes, the cache hit rate, and the end-to-end logical error,
  * into BENCH_scenario.json.
  *
+ * A second, robustness pass reruns the identical workload under a
+ * deadline + fault plan (--deadline_ns=N, --fault=PLAN; see
+ * faultinject/fault_plan.hh for the plan syntax) and reports the staged
+ * fallback ladder's degradation ledger — downgrade counts, per-stage
+ * latency quantiles, injected-fault tallies — and the accuracy cost of
+ * degrading (p_shot delta vs the clean pass), into BENCH_robustness.json.
+ *
  * Flags: --scale=S (Monte-Carlo budget), --d=N, --timelines=N,
  * --cache_mb=M (bound the shared cache to M megabytes; 0 = unbounded),
- * --json=DIR
+ * --deadline_ns=N (per-stage soft decode budget for the robustness pass),
+ * --fault=PLAN (fault plan for the robustness pass), --json=DIR
  */
 
 #include <chrono>
@@ -179,6 +187,80 @@ main(int argc, char **argv)
     report.metric("p_round", cached.result.pRound);
     report.metric("results_identical",
                   cached.result.failures == uncached.result.failures ? 1.0
+                                                                     : 0.0);
+
+    // Robustness pass: the same workload under a soft decode deadline and
+    // a deterministic fault plan. Stalls force trips down the fallback
+    // ladder (blossom -> rows -> union-find), storms hammer the cache,
+    // bursts adversarially thicken syndromes; the run must still complete
+    // every shot, and the ledger prices the degradation.
+    header("Robustness: deadline-aware decoding under injected faults");
+    JsonReport robustness(argc, argv, "robustness");
+    const char *fault_spec = flagString(
+        argc, argv, "fault",
+        "seed=1;stall.p=0.2;burst.p=0.05;burst.size=16;storm.batches=1");
+    const auto deadline_ns = static_cast<uint64_t>(
+        flagValue(argc, argv, "deadline_ns", 0));
+    const StatusOr<FaultPlan> plan = parseFaultPlan(fault_spec);
+    if (!plan.ok()) {
+        std::fprintf(stderr, "--fault: %s\n", plan.status().str().c_str());
+        return 1;
+    }
+
+    ScenarioConfig degraded_cfg = workload(d, timelines);
+    degraded_cfg.faults = *plan;
+    degraded_cfg.decodeDeadlineNs = deadline_ns;
+    const Timed degraded = run(degraded_cfg);
+    const DegradationLedger &led = degraded.result.ledger;
+    std::printf("fault plan: %s\n", degraded_cfg.faults.summary().c_str());
+    std::printf("%s", led.summary().c_str());
+    const double degraded_frac =
+        led.ladderDecodes ? static_cast<double>(led.degradedDecodes) /
+                                static_cast<double>(led.ladderDecodes)
+                          : 0.0;
+    const double p_clean = uncached.result.pShot;
+    const double p_degraded = degraded.result.pShot;
+    std::printf("completed %lu/%lu shots; p_shot %.3e clean -> %.3e "
+                "degraded (delta %+.3e)\n",
+                static_cast<unsigned long>(degraded.result.shots),
+                static_cast<unsigned long>(uncached.result.shots),
+                p_clean, p_degraded, p_degraded - p_clean);
+
+    robustness.metric("shots", static_cast<double>(degraded.result.shots));
+    robustness.metric("ladder_decodes",
+                      static_cast<double>(led.ladderDecodes));
+    robustness.metric("degraded_decodes",
+                      static_cast<double>(led.degradedDecodes));
+    robustness.metric("degraded_frac", degraded_frac);
+    for (uint8_t s = 0; s < kNumDecodeStages; ++s) {
+        const std::string stage =
+            decodeStageName(static_cast<DecodeStage>(s));
+        robustness.metric("attempts_" + stage,
+                          static_cast<double>(led.stageAttempts[s]));
+        robustness.metric("timeouts_" + stage,
+                          static_cast<double>(led.stageTimeouts[s]));
+        robustness.metric("answers_" + stage,
+                          static_cast<double>(led.stageCompleted[s]));
+        robustness.metric("p99_ns_" + stage,
+                          static_cast<double>(
+                              led.stageLatency[s].quantileUpperBoundNs(
+                                  0.99)));
+    }
+    robustness.metric("injected_stalls",
+                      static_cast<double>(led.injectedStalls));
+    robustness.metric("injected_bursts",
+                      static_cast<double>(led.injectedBursts));
+    robustness.metric("injected_burst_detectors",
+                      static_cast<double>(led.injectedBurstDetectors));
+    robustness.metric("cache_storms", static_cast<double>(led.cacheStorms));
+    robustness.metric("p_shot_clean", p_clean);
+    robustness.metric("p_shot_degraded", p_degraded);
+    robustness.metric("p_shot_delta", p_degraded - p_clean);
+    robustness.metric("epochs_per_sec_degraded",
+                      degraded.result.totalEpochs /
+                          std::max(1e-9, degraded.seconds));
+    robustness.metric("all_shots_completed",
+                      degraded.result.shots == uncached.result.shots ? 1.0
                                                                      : 0.0);
     return 0;
 }

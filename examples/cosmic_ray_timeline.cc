@@ -7,13 +7,21 @@
  * structural distances the old window-loop demo printed.
  *
  * Usage: example_cosmic_ray_timeline [d] [rounds] [threads] [seed]
- * (defaults: d=7, rounds=240, threads=hardware, seed=20240610)
+ *                                    [deadline_ns]
+ * (defaults: d=7, rounds=240, threads=hardware, seed=20240610,
+ *  deadline_ns=0 i.e. no per-shot decode budget)
+ *
+ * Passing a deadline_ns arms the staged fallback ladder (sparse-blossom
+ * -> memoized rows -> union-find) and prints the degradation ledger at
+ * the end; setting SURF_FAULT_PLAN (e.g. "seed=3;stall.p=0.3") injects
+ * deterministic decoder stalls to force it.
  */
 
 #include <cstdio>
 #include <cstdlib>
 
 #include "scenario/scenario_experiment.hh"
+#include "util/status.hh"
 #include "util/thread_pool.hh"
 
 using namespace surf;
@@ -43,6 +51,8 @@ main(int argc, char **argv)
                       : 0;
     cfg.seed = argc > 4 ? static_cast<uint64_t>(std::atoll(argv[4]))
                         : 20240610;
+    cfg.decodeDeadlineNs =
+        argc > 5 ? static_cast<uint64_t>(std::atoll(argv[5])) : 0;
 
     const size_t threads =
         cfg.threads ? cfg.threads : ThreadPool::hardwareThreads();
@@ -56,7 +66,16 @@ main(int argc, char **argv)
                 static_cast<unsigned long>(cfg.maxShotsPerTimeline), threads,
                 threads == 1 ? "" : "s");
 
-    const ScenarioResult res = runScenarioExperiment(cfg);
+    // The checked entry returns a Status for malformed configs or defect
+    // streams instead of killing the process, and picks up SURF_FAULT_PLAN
+    // from the environment when cfg.faults is empty.
+    const StatusOr<ScenarioResult> run = runScenarioExperimentChecked(cfg);
+    if (!run.ok()) {
+        std::fprintf(stderr, "scenario failed: %s\n",
+                     run.status().str().c_str());
+        return 1;
+    }
+    const ScenarioResult &res = *run;
     for (const auto &tl : res.timelines) {
         std::printf("timeline: %zu burst event%s -> %zu epoch%s\n",
                     tl.events, tl.events == 1 ? "" : "s", tl.epochs.size(),
@@ -84,6 +103,8 @@ main(int argc, char **argv)
                 100.0 * res.cacheHits /
                     std::max<uint64_t>(1, res.cacheHits + res.cacheMisses),
                 static_cast<unsigned long>(res.totalEpochs));
+    if (!res.ledger.empty())
+        std::printf("\ndegradation ledger:\n%s", res.ledger.summary().c_str());
     std::printf("\nThe patch returns to its pristine footprint whenever no "
                 "event is active; every recurrence of a deformed shape "
                 "reuses the cached decoder.\n");

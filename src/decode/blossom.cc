@@ -83,6 +83,7 @@ class MaxWeightMatcher
     std::vector<int> s_, vis_;
     std::vector<std::vector<int>> flower_;
     std::deque<int> q_;
+    int lca_tick_ = 0; ///< getLca() visit stamp; vis_ starts all-zero
 
     E &edge(int u, int v) { return g_[u * (2 * n_ + 1) + v]; }
     int &flowerFrom(int b, int x) { return flower_from_[b * (n_ + 1) + x]; }
@@ -175,7 +176,9 @@ class MaxWeightMatcher
     int
     getLca(int u, int v)
     {
-        static int t = 0;
+        // Per-instance visit tick (a function-local static here would be
+        // shared across the concurrent per-worker solvers and race).
+        int &t = lca_tick_;
         for (++t; u || v; std::swap(u, v)) {
             if (u == 0)
                 continue;

@@ -32,6 +32,11 @@ defaultMatchingBackend()
         if (env && (std::strcmp(env, "sparse_blossom") == 0 ||
                     std::strcmp(env, "blossom") == 0))
             return MatchingBackend::SparseBlossom;
+        if (env && *env && std::strcmp(env, "sparse") != 0 &&
+            std::strcmp(env, "rows") != 0)
+            warn(std::string("SURF_MATCHING_BACKEND='") + env +
+                 "' is not a known backend (dense, sparse, rows, "
+                 "sparse_blossom); using the sparse default");
         return MatchingBackend::Sparse;
     }();
     return def;

@@ -51,8 +51,19 @@ MwpmDecoder::decode(const uint32_t *fired, size_t n_fired,
     if (!std::is_sorted(defects.begin(), defects.end()))
         std::sort(defects.begin(), defects.end());
     scratch.lastWeight = 0;
+    scratch.timedOut = false;
+    if (scratch.deadline != nullptr && scratch.deadline->armed())
+        // Even empty shots clear the trace, so a caller that records the
+        // ladder per decode never re-reads a previous shot's trip.
+        scratch.ladder.reset();
     if (defects.empty())
         return false;
+    if (scratch.deadline != nullptr && scratch.deadline->armed() &&
+        graph_.backend() != MatchingBackend::Dense)
+        // Deadline-armed shots run the staged fallback ladder. The Dense
+        // backend is pure table lookups + one bounded blossom with no
+        // cheaper stage to fall to, so it stays on its normal path.
+        return decodeLadder(scratch);
     switch (graph_.backend()) {
       case MatchingBackend::Dense:
         return decodeDense(scratch);
@@ -70,6 +81,48 @@ MwpmDecoder::decode(const uint32_t *fired, size_t n_fired,
                    ? decodeSparseBlossom(scratch)
                    : decodeSparse(scratch);
     }
+}
+
+bool
+MwpmDecoder::decodeLadder(MwpmScratch &sc) const
+{
+    DecodeDeadline &dl = *sc.deadline;
+    sc.ladder.reset();
+
+    // Stage 1 — matrix-free sparse blossom, for the shots that would
+    // use it anyway (SparseBlossom backend, or Sparse past the burst
+    // threshold). Non-burst shots skip straight to the rows stage: the
+    // matcher is slower there and a downgrade must never be one.
+    const bool burst =
+        graph_.backend() == MatchingBackend::SparseBlossom ||
+        (sc.defects.size() >= blossomThreshold() &&
+         truncate_k_ != SIZE_MAX);
+    if (burst) {
+        dl.beginStage(sc.stallNs[kStageBlossom]);
+        bool timed_out = false;
+        const bool obs =
+            sparseBlossomDecode(graph_, sc.defects, sc.blossom,
+                                &sc.lastWeight, &dl, &timed_out);
+        sc.ladder.note(kStageBlossom, dl.stageElapsedNs(), timed_out);
+        if (!timed_out) {
+            sc.ladder.answer = kStageBlossom;
+            return obs;
+        }
+        sc.lastWeight = 0; // abandoned stage: discard partial weight
+    }
+
+    // Stage 2 — memoized-rows MWPM under its own fresh budget.
+    dl.beginStage(sc.stallNs[kStageRows]);
+    const bool obs = decodeSparse(sc);
+    sc.ladder.note(kStageRows, dl.stageElapsedNs(), sc.timedOut);
+    if (!sc.timedOut) {
+        sc.ladder.answer = kStageRows;
+        return obs;
+    }
+    // Stage 3 (union-find) lives with the caller: sc.timedOut tells it
+    // to discard this answer and run its floor decoder.
+    sc.lastWeight = 0;
+    return obs;
 }
 
 bool
@@ -205,12 +258,25 @@ MwpmDecoder::decodeSparse(MwpmScratch &sc) const
     // matching, max(2 d(i,B), 2 d(j,B)) >= d(i,B) + d(j,B) puts it
     // within at least one of the two radii.
     const bool exact = truncate_k_ == SIZE_MAX;
+    // Cooperative deadline poll (no-op with a null/disarmed deadline):
+    // row construction and the O(k^3) blossom solve are the two
+    // unbounded work chunks of this path, so the budget is checked
+    // before each row build and before each solve.
+    auto outOfTime = [&sc] {
+        if (sc.deadline == nullptr || !sc.deadline->expired())
+            return false;
+        sc.timedOut = true;
+        return true;
+    };
     sc.pathDist.assign(cols * cols, kInf);
     sc.pathPar.assign(cols * cols, 0);
     sc.rows.clear();
-    for (int i = 0; i < k; ++i)
+    for (int i = 0; i < k; ++i) {
+        if (outOfTime())
+            return false;
         sc.rows.push_back(graph_.row(defects[static_cast<size_t>(i)],
                                      exact, sc.dijkstra));
+    }
     for (int i = 0; i < k; ++i) {
         const DecodingGraph::Row &ri = *sc.rows[static_cast<size_t>(i)];
         const size_t bi = tri(i, k);
@@ -324,11 +390,15 @@ MwpmDecoder::decodeSparse(MwpmScratch &sc) const
                 }
         }
     };
+    if (outOfTime())
+        return false;
     buildMatrix(truncate);
     bool found = minWeightPerfectMatching(n, w, sc.mate);
     if (!found && truncate) {
         // Truncation left the matching graph without a perfect matching
         // (isolated far-apart defects): retry with every known pair.
+        if (outOfTime())
+            return false;
         buildMatrix(false);
         found = minWeightPerfectMatching(n, w, sc.mate);
     }

@@ -43,6 +43,7 @@
 
 #include "decode/graph.hh"
 #include "decode/sparse_blossom.hh"
+#include "util/deadline.hh"
 
 namespace surf {
 
@@ -109,6 +110,21 @@ struct MwpmScratch
      *  the choice among equal-weight optima — the cross-backend
      *  equivalence gates compare it directly. */
     int64_t lastWeight = 0;
+
+    // --- Soft-deadline ladder (see util/deadline.hh). All default-off:
+    // with `deadline` null every cooperative check is one pointer test
+    // and decode() is bit-identical to a deadline-free build.
+    /** Non-owning per-shot budget; armed by the engine, polled at
+     *  coarse work boundaries inside the sparse decode paths. */
+    DecodeDeadline *deadline = nullptr;
+    /** Fault-injected virtual stall charged to each ladder stage at
+     *  stage entry (all zero without a fault plan). */
+    std::array<uint64_t, kNumDecodeStages> stallNs{};
+    /** Trace of the last ladder decode (stages tried, latencies). */
+    ShotLadderTrace ladder;
+    /** True when the deadline expired before MWPM produced a trusted
+     *  answer: the caller must fall back to the union-find floor. */
+    bool timedOut = false;
 };
 
 /** MWPM decoder for one basis tag of a detector error model. */
@@ -168,6 +184,15 @@ class MwpmDecoder
      * Decode one shot: `fired` points at `n_fired` fired detector ids
      * (global); detectors of other tags are ignored. Thread-safe given a
      * per-thread scratch.
+     *
+     * When `scratch.deadline` is armed (and the backend is not Dense),
+     * the shot runs the staged fallback ladder instead: sparse blossom
+     * (burst shots only) → memoized-rows MWPM, each stage under the
+     * soft per-stage budget. A stage that overruns is abandoned and the
+     * next stage tried; if the rows stage also overruns, the partial
+     * answer is returned with `scratch.timedOut` set and the caller is
+     * expected to downgrade to its union-find floor.
+     * `scratch.ladder` records stages tried and per-stage latencies.
      * @return predicted observable flip
      */
     bool decode(const uint32_t *fired, size_t n_fired,
@@ -177,6 +202,8 @@ class MwpmDecoder
     bool decodeDense(MwpmScratch &scratch) const;
     bool decodeSparse(MwpmScratch &scratch) const;
     bool decodeSparseBlossom(MwpmScratch &scratch) const;
+    /** Deadline-armed path: blossom → rows with per-stage budgets. */
+    bool decodeLadder(MwpmScratch &scratch) const;
 
     DecodingGraph graph_;
     size_t truncate_k_ = kDefaultNearestDefects;

@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "decode/match_weights.hh"
+#include "util/deadline.hh"
 #include "util/logging.hh"
 
 namespace surf {
@@ -804,12 +805,24 @@ findCandidate(const SparseBlossomScratch &sc, int a, int b)
 bool
 sparseBlossomDecode(const DecodingGraph &graph,
                     const std::vector<int> &defects,
-                    SparseBlossomScratch &sc, int64_t *totalWeight)
+                    SparseBlossomScratch &sc, int64_t *totalWeight,
+                    const DecodeDeadline *deadline, bool *timedOut)
 {
     const int k = static_cast<int>(defects.size());
     if (totalWeight)
         *totalWeight = 0;
+    if (timedOut)
+        *timedOut = false;
     if (k == 0)
+        return false;
+    auto outOfTime = [&] {
+        if (deadline == nullptr || !deadline->expired())
+            return false;
+        if (timedOut)
+            *timedOut = true;
+        return true;
+    };
+    if (outOfTime())
         return false;
     const size_t n_nodes = graph.numNodes() + 1;
     const int bnode = graph.boundaryNode();
@@ -1036,6 +1049,13 @@ sparseBlossomDecode(const DecodingGraph &graph,
     // doubled total is twice the matching weight dense blossom reports).
     bool solved = false;
     for (int round = 0; !solved; ++round) {
+        // Cooperative deadline poll between growth/certificate rounds:
+        // each round is a bounded chunk of work (drain to current caps +
+        // one sparse matching), so an expired budget is noticed within
+        // one round and the partially grown state is simply abandoned
+        // (the scratch resets per shot).
+        if (round > 0 && outOfTime())
+            return false;
         const bool exact_round = round >= kMaxRounds;
         if (exact_round)
             // Safety net: fully exact coverage (every ball explores its

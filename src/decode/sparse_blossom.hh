@@ -183,6 +183,8 @@ struct SparseBlossomScratch
     std::vector<int> mate;
 };
 
+class DecodeDeadline;
+
 /**
  * Decode one shot with the matrix-free matcher.
  *
@@ -191,12 +193,18 @@ struct SparseBlossomScratch
  * @param sc burst-matcher arena
  * @param totalWeight optional: matched weight in the shared quantization
  *        (sum of llround(w * 1024) over matched pair/boundary paths)
+ * @param deadline optional soft budget (util/deadline.hh), polled at
+ *        entry and between growth/certificate rounds; null = never
+ * @param timedOut set when the deadline expired and the decode was
+ *        abandoned (the returned prediction is then untrusted)
  * @return predicted observable flip
  */
 bool sparseBlossomDecode(const DecodingGraph &graph,
                          const std::vector<int> &defects,
                          SparseBlossomScratch &sc,
-                         int64_t *totalWeight = nullptr);
+                         int64_t *totalWeight = nullptr,
+                         const DecodeDeadline *deadline = nullptr,
+                         bool *timedOut = nullptr);
 
 } // namespace surf
 

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Deterministic fault injection for the scenario service. A FaultPlan
+ * names what goes wrong and how often; a FaultInjector turns it into
+ * per-site decisions that are pure hash functions of (plan seed, site,
+ * indices) — no mutable state, so decisions are identical at any thread
+ * count and any replay with the same seed. The layer is compiled always
+ * and enabled only by a non-empty plan (ScenarioConfig::faults or the
+ * SURF_FAULT_PLAN environment variable); an empty plan short-circuits
+ * every query to "no fault".
+ *
+ * Sites:
+ *  - decoder stalls (stall.*): virtual time charged to a ladder stage at
+ *    stage entry, forcing the deadline's staged fallback deterministically
+ *    (util/deadline.hh, virtual clock mode);
+ *  - cache-eviction storms (storm.*): DeformedCodeCache::clear() fired
+ *    mid-timeline between epoch builds and between shot batches, while
+ *    live decodes still hold shared_ptr handles into evicted entries;
+ *  - defect-stream truncation/corruption (truncate.frac / corrupt.p):
+ *    models a malformed upstream producer — truncation drops the tail of
+ *    the sampled event list (still valid, results change deterministically),
+ *    corruption mangles events into invalid ones that the engine's input
+ *    validation must reject with a Status, never UB;
+ *  - adversarial burst syndromes (burst.*): a contiguous run of extra
+ *    fired detectors spliced into a shot's defect list ahead of decoding,
+ *    the worst-case input shape for the matching backends.
+ *
+ * SURF_FAULT_PLAN syntax: semicolon-separated key=value clauses, e.g.
+ *   seed=7;stall.p=1;stall.ns=50e6;stall.stages=blossom,rows;
+ *   storm.epochs=2;storm.batches=3;truncate.frac=0.5;corrupt.p=0.1;
+ *   burst.p=0.05;burst.size=40
+ * Unknown keys and out-of-range values are INVALID_ARGUMENT errors.
+ */
+
+#ifndef SURF_FAULTINJECT_FAULT_PLAN_HH
+#define SURF_FAULTINJECT_FAULT_PLAN_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "defects/defect_sampler.hh"
+#include "util/deadline.hh"
+#include "util/status.hh"
+
+namespace surf {
+
+/** Declarative fault schedule (empty = everything disabled). */
+struct FaultPlan
+{
+    uint64_t seed = 0; ///< decision seed (independent of the run seed)
+
+    // --- decoder stalls -------------------------------------------------
+    double stallProb = 0.0;           ///< per (shot, epoch, stage)
+    uint64_t stallNs = 50'000'000;    ///< virtual stall per hit (50 ms)
+    uint8_t stallStages =
+        (1u << kStageBlossom) | (1u << kStageRows); ///< stage bitmask
+
+    // --- cache-eviction storms ------------------------------------------
+    uint32_t stormEveryEpochs = 0;  ///< clear() before every Nth epoch build
+    uint32_t stormEveryBatches = 0; ///< clear() before every Nth shot batch
+
+    // --- defect-stream faults -------------------------------------------
+    double truncateFrac = -1.0; ///< keep this fraction of events (<0 = off)
+    double corruptProb = 0.0;   ///< per event: mangle into an invalid one
+
+    // --- adversarial burst syndromes ------------------------------------
+    double burstProb = 0.0;  ///< per (shot, epoch)
+    uint32_t burstSize = 32; ///< contiguous detectors per injected burst
+
+    bool
+    enabled() const
+    {
+        return stallProb > 0.0 || stormEveryEpochs || stormEveryBatches ||
+               truncateFrac >= 0.0 || corruptProb > 0.0 || burstProb > 0.0;
+    }
+    bool hasDecoderStalls() const { return stallProb > 0.0; }
+
+    /** One-line description for logs and bench output. */
+    std::string summary() const;
+};
+
+/** Parse a SURF_FAULT_PLAN-syntax spec. Empty string = empty plan. */
+StatusOr<FaultPlan> parseFaultPlan(const std::string &spec);
+
+/** Range-check a (possibly hand-built) plan. */
+Status validateFaultPlan(const FaultPlan &plan);
+
+/** The SURF_FAULT_PLAN environment plan; empty plan when unset. */
+StatusOr<FaultPlan> faultPlanFromEnv();
+
+/**
+ * Stateless decision oracle for one plan. Every query hashes the plan
+ * seed with the site id and the caller's indices; the `salt` argument is
+ * the per-timeline decorrelator (the engine passes its batch-seed base,
+ * which is unique per timeline and stable across thread counts).
+ */
+class FaultInjector
+{
+  public:
+    FaultInjector() = default; ///< disabled
+    explicit FaultInjector(const FaultPlan &plan) : plan_(plan) {}
+
+    const FaultPlan &plan() const { return plan_; }
+    bool enabled() const { return plan_.enabled(); }
+    bool
+    virtualClockNeeded() const
+    {
+        return plan_.hasDecoderStalls();
+    }
+
+    /** Virtual stall (ns) charged to `stage` of this decode; 0 = none. */
+    uint64_t stallNs(uint64_t salt, uint64_t shot, uint64_t epoch,
+                     DecodeStage stage) const;
+
+    /** Fire a cache-eviction storm before this epoch build? */
+    bool stormAtEpochBuild(uint64_t salt, uint64_t epochIndex) const;
+
+    /** Fire a cache-eviction storm before this shot batch? */
+    bool stormAtBatch(uint64_t salt, uint64_t batchIndex) const;
+
+    /**
+     * Apply the plan's stream faults to a sampled event list in place:
+     * deterministic tail truncation, then per-event corruption (swapped
+     * cycle interval, cleared site set, far out-of-range center — shapes
+     * validateDefectStream must reject).
+     */
+    void mutateStream(uint64_t salt, std::vector<DefectEvent> &events) const;
+
+    /**
+     * Maybe splice an adversarial burst into a shot's epoch-local fired
+     * detector list (kept sorted and deduplicated, ids < numDetectors).
+     * @return number of detector ids added (0 = no burst)
+     */
+    size_t injectBurst(uint64_t salt, uint64_t shot, uint64_t epoch,
+                       size_t numDetectors,
+                       std::vector<uint32_t> &ids) const;
+
+  private:
+    FaultPlan plan_;
+};
+
+} // namespace surf
+
+#endif // SURF_FAULTINJECT_FAULT_PLAN_HH

@@ -209,6 +209,16 @@ DeformedCodeCache::setBudget(size_t max_bytes, size_t max_entries)
 }
 
 void
+DeformedCodeCache::evictAll()
+{
+    for (const auto &[key, e] : entries_)
+        clock_ = std::max(clock_, e.pri);
+    evictions_ += entries_.size();
+    entries_.clear();
+    bytes_used_ = 0;
+}
+
+void
 DeformedCodeCache::clear()
 {
     entries_.clear();

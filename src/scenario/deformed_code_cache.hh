@@ -156,6 +156,16 @@ class DeformedCodeCache
     }
     void clear();
 
+    /**
+     * Evict every resident entry (counted in evictions()) while keeping
+     * the hit/miss statistics and the GreedyDual clock — the eviction
+     * storm of the fault-injection harness. In-flight holders of entry
+     * shared_ptrs are unaffected; subsequent lookups rebuild. Results
+     * can never change (entries are pure functions of their keys), only
+     * cost.
+     */
+    void evictAll();
+
   private:
     struct Entry
     {

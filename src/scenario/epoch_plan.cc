@@ -2,6 +2,7 @@
 
 #include "scenario/patch_signature.hh"
 #include "util/logging.hh"
+#include "util/status.hh"
 
 namespace surf {
 
@@ -9,8 +10,17 @@ ScenarioPlan
 planEpochs(const EpochPlannerConfig &cfg,
            const std::vector<DefectEvent> &events, StrategyMemo *memo)
 {
-    SURF_ASSERT(cfg.horizonRounds >= 1, "empty scenario horizon");
-    SURF_ASSERT(cfg.windowRounds >= 1, "window must cover at least a round");
+    // Malformed timeline shapes are user errors, not invariants: throw a
+    // StatusError so checked entry points hand back a diagnosable value
+    // instead of aborting the process.
+    if (cfg.horizonRounds < 1)
+        throw StatusError(Status::invalidArgument(
+            "epoch planner: empty scenario horizon (horizonRounds must "
+            "be >= 1)"));
+    if (cfg.windowRounds < 1)
+        throw StatusError(Status::invalidArgument(
+            "epoch planner: window must cover at least a round "
+            "(windowRounds must be >= 1)"));
     ScenarioPlan plan;
     plan.numEvents = events.size();
 

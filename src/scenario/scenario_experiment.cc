@@ -1,6 +1,7 @@
 #include "scenario/scenario_experiment.hh"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 
 #include "lattice/rotated.hh"
@@ -30,6 +31,12 @@ mixSeed(uint64_t seed, uint64_t salt)
  *  cfg.seed exactly so one-timeline scenarios share the memory pipeline's
  *  seed schedule. */
 constexpr uint64_t kTimelineSeedStride = 0x51ed5eed9e3779b9ULL;
+
+/** Soft budget armed when a fault plan injects decoder stalls but the
+ *  config sets no explicit decodeDeadlineNs: 10 ms, a fifth of the
+ *  default 50 ms injected stall, so stall plans force the ladder out of
+ *  the box. */
+constexpr uint64_t kDefaultStallDeadlineNs = 10'000'000;
 
 std::string
 noiseSignature(const NoiseParams &noise)
@@ -128,10 +135,17 @@ deadTimeline(const ScenarioConfig &cfg, size_t events)
  * decode-ready segments (through the segment cache when enabled). Pure
  * function of (plan, decode-relevant config): the timeline cache hands
  * out memoized results keyed on exactly those.
+ *
+ * `inject`/`ledger` (both optional) wire in the fault harness: an
+ * epoch-build eviction storm empties the cache right before the chosen
+ * epochs' segments resolve, while the build is mid-flight — entries the
+ * earlier epochs pinned stay usable through their shared_ptrs, the
+ * stormed segments rebuild, and the result is bit-identical either way.
  */
 CachedTimeline
 buildStitchedTimeline(const ScenarioPlan &plan, const ScenarioConfig &cfg,
-                      DeformedCodeCache &cache, ThreadPool &pool)
+                      DeformedCodeCache &cache, ThreadPool &pool,
+                      const FaultInjector *inject, DegradationLedger *ledger)
 {
     CachedTimeline out;
     const size_t n_epochs = plan.epochs.size();
@@ -144,6 +158,11 @@ buildStitchedTimeline(const ScenarioPlan &plan, const ScenarioConfig &cfg,
     out.epochs.reserve(n_epochs);
 
     for (size_t e = 0; e < n_epochs; ++e) {
+        if (inject && inject->stormAtEpochBuild(0, e)) {
+            cache.evictAll();
+            if (ledger)
+                ++ledger->cacheStorms;
+        }
         const Epoch &ep = plan.epochs[e];
         const CodePatch &patch = ep.deformed.patch;
         SegmentSpec spec;
@@ -213,9 +232,16 @@ buildStitchedTimeline(const ScenarioPlan &plan, const ScenarioConfig &cfg,
         } else {
             ce.seg = std::make_shared<const CachedSegment>(build());
         }
-        SURF_ASSERT(ce.seg->dem.numDetectors == res.detEnd - res.detBegin,
-                    "standalone segment does not mirror the concatenated "
-                    "detector range");
+        if (ce.seg->dem.numDetectors != res.detEnd - res.detBegin)
+            // A structurally inconsistent epoch plan (or a malformed
+            // cached DEM) surfaces as a value at the checked boundary
+            // instead of killing a long-running service.
+            throw StatusError(Status::internal(
+                "stitched timeline: standalone segment of epoch " +
+                std::to_string(e) + " has " +
+                std::to_string(ce.seg->dem.numDetectors) +
+                " detectors but the concatenated circuit reserved " +
+                std::to_string(res.detEnd - res.detBegin)));
         ce.startRound = ep.startRound;
         ce.rounds = ep.rounds;
         ce.distX = ep.deformed.distX;
@@ -246,18 +272,36 @@ runPlannedTimeline(const ScenarioPlan &plan, const ScenarioConfig &cfg,
     SURF_ASSERT(!plan.epochs.empty(), "planned timeline has no epochs");
     ThreadPool pool(cfg.threads);
 
+    // --- Fault harness + deadline (both default-off) ---------------------
+    // Injection decisions are pure hashes of (plan seed, site, salt,
+    // indices); the salt is this timeline's batch-seed base, so decisions
+    // are unique per timeline yet identical at any thread count. Stall
+    // plans switch the deadline to its virtual clock, making every stage
+    // choice (and recorded latency) deterministic too.
+    const FaultInjector inject(cfg.faults);
+    const uint64_t salt = batchSeedBase;
+    const uint64_t deadline_ns =
+        cfg.decodeDeadlineNs
+            ? cfg.decodeDeadlineNs
+            : (cfg.faults.hasDecoderStalls() ? kDefaultStallDeadlineNs : 0);
+    const bool ladder_on = deadline_ns != 0 &&
+                           cfg.matching != MatchingBackend::Dense &&
+                           cfg.decoder != DecoderKind::UnionFind;
+
     // --- Resolve the stitched timeline: one lookup covers the seam
     // classification, circuit stitching and every per-epoch decode
     // segment. Warm sweeps and quiet (event-free) timelines skip
     // straight to sampling. ----------------------------------------------
+    const FaultInjector *bi = inject.enabled() ? &inject : nullptr;
     std::shared_ptr<const CachedTimeline> tlc;
     if (cfg.useCache) {
         tlc = cache.getTimeline(timelineCacheKey(plan, cfg), [&] {
-            return buildStitchedTimeline(plan, cfg, cache, pool);
+            return buildStitchedTimeline(plan, cfg, cache, pool, bi,
+                                         &tl.ledger);
         });
     } else {
         tlc = std::make_shared<const CachedTimeline>(
-            buildStitchedTimeline(plan, cfg, cache, pool));
+            buildStitchedTimeline(plan, cfg, cache, pool, bi, &tl.ledger));
     }
     if (!tlc->alive)
         return deadTimeline(cfg, plan.numEvents);
@@ -287,12 +331,27 @@ runPlannedTimeline(const ScenarioPlan &plan, const ScenarioConfig &cfg,
     std::vector<std::vector<uint32_t>> local_ids(pool.size());
     std::vector<std::vector<uint64_t>> worker_mism(
         pool.size(), std::vector<uint64_t>(n_epochs));
+    std::vector<DecodeDeadline> worker_deadline(pool.size());
+    std::vector<DegradationLedger> worker_ledger(pool.size());
+    if (ladder_on)
+        for (auto &dl : worker_deadline)
+            dl.configure(deadline_ns, inject.virtualClockNeeded());
     SparseSyndromes syndromes;
     std::unique_ptr<FrameSimulator> sim;
 
     uint64_t batch_seed = batchSeedBase;
+    uint64_t batch_index = 0;
     while (tl.shots < cfg.maxShotsPerTimeline &&
            failuresSoFar + tl.failures < cfg.targetFailures) {
+        if (inject.enabled() && inject.stormAtBatch(salt, batch_index)) {
+            // Mid-timeline eviction storm: this timeline keeps decoding
+            // through its pinned shared_ptr segments; later lookups
+            // rebuild. Results cannot change, only cost.
+            cache.evictAll();
+            ++tl.ledger.cacheStorms;
+        }
+        ++batch_index;
+        const uint64_t shots_before = tl.shots;
         const size_t batch = static_cast<size_t>(std::min<uint64_t>(
             cfg.batchShots, cfg.maxShotsPerTimeline - tl.shots));
         if (!sim || sim->shots() != batch) {
@@ -307,6 +366,48 @@ runPlannedTimeline(const ScenarioPlan &plan, const ScenarioConfig &cfg,
         std::fill(worker_failures.begin(), worker_failures.end(), 0);
         for (auto &m : worker_mism)
             std::fill(m.begin(), m.end(), 0);
+        // MWPM decode of one epoch's fired list, under the fallback
+        // ladder when a deadline is armed: blossom → rows inside the
+        // decoder, union-find floor here when both stages overran. Every
+        // ladder trip lands in the worker's ledger (merged in fixed
+        // worker order after the sweep).
+        const auto mwpmDecode = [&](const CachedTimelineEpoch &ce,
+                                    std::vector<uint32_t> &ids,
+                                    uint64_t shot, size_t e,
+                                    size_t worker) -> bool {
+            MwpmScratch &msc = mwpm_scratch[worker];
+            if (!ladder_on)
+                return ce.seg->mwpm->decode(ids.data(), ids.size(), msc);
+            DecodeDeadline &dl = worker_deadline[worker];
+            DegradationLedger &led = worker_ledger[worker];
+            msc.deadline = &dl;
+            msc.stallNs = {};
+            if (inject.enabled()) {
+                msc.stallNs[kStageBlossom] =
+                    inject.stallNs(salt, shot, e, kStageBlossom);
+                msc.stallNs[kStageRows] =
+                    inject.stallNs(salt, shot, e, kStageRows);
+            }
+            bool predicted =
+                ce.seg->mwpm->decode(ids.data(), ids.size(), msc);
+            msc.deadline = nullptr;
+            for (uint8_t st = 0; st < kNumDecodeStages; ++st)
+                if ((msc.ladder.attempted >> st) & 1 && msc.stallNs[st])
+                    ++led.injectedStalls;
+            if (msc.timedOut) {
+                // Both MWPM stages overran: the union-find floor always
+                // completes, so the shot degrades but never blocks.
+                dl.beginStage(0);
+                predicted = ce.seg->uf->decode(ids.data(), ids.size(),
+                                               uf_scratch[worker]);
+                msc.ladder.note(kStageUnionFind, dl.stageElapsedNs(),
+                                false);
+                msc.ladder.answer = kStageUnionFind;
+            }
+            if (msc.ladder.attempted)
+                led.record(msc.ladder);
+            return predicted;
+        };
         const size_t n_shards = std::min(batch, pool.size() * 4);
         pool.parallelFor(n_shards, [&](size_t shard, size_t worker) {
             const size_t begin = batch * shard / n_shards;
@@ -315,6 +416,7 @@ runPlannedTimeline(const ScenarioPlan &plan, const ScenarioConfig &cfg,
             for (size_t s = begin; s < end; ++s) {
                 const uint32_t *fired = syndromes.data(s);
                 const size_t n_fired = syndromes.count(s);
+                const uint64_t shot = shots_before + s;
                 size_t idx = 0;
                 bool total = false;
                 for (size_t e = 0; e < n_epochs; ++e) {
@@ -328,11 +430,19 @@ runPlannedTimeline(const ScenarioPlan &plan, const ScenarioConfig &cfg,
                                                             ce.detBegin));
                         ++idx;
                     }
+                    if (inject.enabled()) {
+                        const size_t added = inject.injectBurst(
+                            salt, shot, e, ce.detEnd - ce.detBegin, ids);
+                        if (added) {
+                            ++worker_ledger[worker].injectedBursts;
+                            worker_ledger[worker].injectedBurstDetectors +=
+                                added;
+                        }
+                    }
                     bool predicted;
                     switch (cfg.decoder) {
                       case DecoderKind::Mwpm:
-                        predicted = ce.seg->mwpm->decode(
-                            ids.data(), ids.size(), mwpm_scratch[worker]);
+                        predicted = mwpmDecode(ce, ids, shot, e, worker);
                         break;
                       case DecoderKind::UnionFind:
                         predicted = ce.seg->uf->decode(
@@ -342,9 +452,7 @@ runPlannedTimeline(const ScenarioPlan &plan, const ScenarioConfig &cfg,
                       default:
                         predicted =
                             (ids.size() <= cfg.mwpmDefectCap)
-                                ? ce.seg->mwpm->decode(ids.data(),
-                                                       ids.size(),
-                                                       mwpm_scratch[worker])
+                                ? mwpmDecode(ce, ids, shot, e, worker)
                                 : ce.seg->uf->decode(ids.data(), ids.size(),
                                                      uf_scratch[worker]);
                         break;
@@ -377,55 +485,204 @@ runPlannedTimeline(const ScenarioPlan &plan, const ScenarioConfig &cfg,
             tl.epochs[e].shots += batch;
         tl.shots += batch;
     }
+    // Fixed worker order keeps the merged ledger deterministic whenever
+    // the per-shot traces are (virtual clock / no real deadline).
+    for (const auto &wl : worker_ledger)
+        tl.ledger.merge(wl);
     return tl;
+}
+
+Status
+validateScenarioConfig(const ScenarioConfig &cfg)
+{
+    auto bad = [](const std::string &msg) {
+        return Status::invalidArgument("scenario config: " + msg);
+    };
+    auto prob_ok = [](double p) {
+        return std::isfinite(p) && p >= 0.0 && p <= 1.0;
+    };
+    if (cfg.timeline.d < 2 || cfg.timeline.d > 512)
+        return bad("code distance d=" + std::to_string(cfg.timeline.d) +
+                   " out of range [2, 512]");
+    if (cfg.timeline.deltaD < 0)
+        return bad("deltaD must be >= 0");
+    if (cfg.timeline.horizonRounds < 1)
+        return bad("horizonRounds must be >= 1 (zero-round scenarios "
+                   "have no syndrome data to decode)");
+    if (cfg.timeline.windowRounds < 1)
+        return bad("windowRounds must be >= 1");
+    if (cfg.numTimelines < 1)
+        return bad("numTimelines must be >= 1");
+    if (cfg.maxShotsPerTimeline < 1)
+        return bad("maxShotsPerTimeline must be >= 1");
+    if (cfg.batchShots < 1)
+        return bad("batchShots must be >= 1");
+    if (cfg.targetFailures < 1)
+        return bad("targetFailures must be >= 1 (the run would stop "
+                   "before its first shot)");
+    if (!(std::isfinite(cfg.eventRateScale) && cfg.eventRateScale >= 0.0))
+        return bad("eventRateScale must be finite and >= 0");
+    if (!prob_ok(cfg.noise.p))
+        return bad("noise.p must be a probability in [0, 1]");
+    if (!prob_ok(cfg.noise.pDefect))
+        return bad("noise.pDefect must be a probability in [0, 1]");
+    if (!prob_ok(cfg.noise.pCorrelated2q))
+        return bad("noise.pCorrelated2q must be a probability in [0, 1]");
+    if (!(std::isfinite(cfg.defectModel.eventRatePerQubitSec) &&
+          cfg.defectModel.eventRatePerQubitSec >= 0.0))
+        return bad("defectModel.eventRatePerQubitSec must be finite and "
+                   ">= 0");
+    if (!(std::isfinite(cfg.defectModel.durationSec) &&
+          cfg.defectModel.durationSec >= 0.0))
+        return bad("defectModel.durationSec must be finite and >= 0");
+    if (!(std::isfinite(cfg.defectModel.cycleTimeSec) &&
+          cfg.defectModel.cycleTimeSec > 0.0))
+        return bad("defectModel.cycleTimeSec must be finite and > 0");
+    switch (cfg.decoder) {
+      case DecoderKind::Mwpm:
+      case DecoderKind::UnionFind:
+      case DecoderKind::Auto:
+        break;
+      default:
+        return bad("unknown DecoderKind value " +
+                   std::to_string(static_cast<int>(cfg.decoder)));
+    }
+    switch (cfg.matching) {
+      case MatchingBackend::Dense:
+      case MatchingBackend::Sparse:
+      case MatchingBackend::SparseBlossom:
+        break;
+      default:
+        return bad("unknown MatchingBackend value " +
+                   std::to_string(static_cast<int>(cfg.matching)));
+    }
+    if (cfg.basis != PauliType::X && cfg.basis != PauliType::Z)
+        return bad("basis must be Pauli X or Z");
+    return validateFaultPlan(cfg.faults);
+}
+
+Status
+validateDefectStream(const std::vector<DefectEvent> &events,
+                     const ScenarioConfig &cfg)
+{
+    // Any site a deformation could ever reach lives well inside this
+    // box (patch coordinates are ~[0, 2d] plus the enlargement slack);
+    // a "teleported" corrupt center lands far outside it.
+    const int bound = 4 * (cfg.timeline.d + cfg.timeline.deltaD) + 16;
+    auto inBox = [bound](Coord c) {
+        return c.x >= -bound && c.x <= bound && c.y >= -bound &&
+               c.y <= bound;
+    };
+    for (size_t i = 0; i < events.size(); ++i) {
+        const DefectEvent &ev = events[i];
+        const std::string tag = "defect stream event " + std::to_string(i);
+        if (ev.endCycle <= ev.startCycle)
+            return Status::dataLoss(
+                tag + ": empty or inverted cycle interval [" +
+                std::to_string(ev.startCycle) + ", " +
+                std::to_string(ev.endCycle) + ")");
+        if (ev.sites.empty())
+            return Status::dataLoss(tag + ": no affected sites");
+        if (!inBox(ev.center))
+            return Status::dataLoss(
+                tag + ": center (" + std::to_string(ev.center.x) + ", " +
+                std::to_string(ev.center.y) + ") is off the lattice "
+                "(|coord| bound " + std::to_string(bound) + ")");
+        for (const Coord &q : ev.sites)
+            if (!inBox(q))
+                return Status::dataLoss(
+                    tag + ": site (" + std::to_string(q.x) + ", " +
+                    std::to_string(q.y) + ") is off the lattice");
+    }
+    return Status::okStatus();
+}
+
+StatusOr<ScenarioResult>
+runScenarioExperimentChecked(const ScenarioConfig &userCfg)
+{
+    ScenarioConfig cfg = userCfg;
+    if (!cfg.faults.enabled()) {
+        // The environment plan fills an empty config plan (explicit
+        // config plans win), so any existing entry point can be fault
+        // tested without code changes.
+        StatusOr<FaultPlan> env = faultPlanFromEnv();
+        if (!env.ok())
+            return env.status();
+        cfg.faults = *env;
+    }
+    if (Status s = validateScenarioConfig(cfg); !s.ok())
+        return s;
+
+    try {
+        ScenarioResult out;
+        out.horizonRounds = cfg.timeline.horizonRounds;
+        DeformedCodeCache local_cache;
+        DeformedCodeCache &cache = cfg.cache ? *cfg.cache : local_cache;
+        if (cfg.cacheMaxBytes || cfg.cacheMaxEntries)
+            cache.setBudget(cfg.cacheMaxBytes, cfg.cacheMaxEntries);
+        const uint64_t hits0 = cache.hits(), misses0 = cache.misses();
+        const uint64_t evictions0 = cache.evictions();
+
+        const FaultInjector inject(cfg.faults);
+        StrategyMemo memo;
+        const CodePatch base = squarePatch(cfg.timeline.d);
+        DefectModelParams model = cfg.defectModel;
+        model.eventRatePerQubitSec *= cfg.eventRateScale;
+
+        for (int t = 0; t < cfg.numTimelines; ++t) {
+            if (out.failures >= cfg.targetFailures)
+                break;
+            const uint64_t timeline_salt =
+                cfg.seed + static_cast<uint64_t>(t) * kTimelineSeedStride;
+            std::vector<DefectEvent> events;
+            if (cfg.eventRateScale > 0.0) {
+                DefectSampler sampler(model,
+                                      mixSeed(cfg.seed, 0xdefec7 + t));
+                events =
+                    sampler.sampleEvents(base, cfg.timeline.horizonRounds);
+            }
+            if (inject.enabled())
+                inject.mutateStream(timeline_salt, events);
+            // Validates externally-supplied malformations too: the
+            // sampler's own streams always pass.
+            if (Status s = validateDefectStream(events, cfg); !s.ok())
+                return s;
+            const ScenarioPlan plan = planEpochs(cfg.timeline, events, &memo);
+            TimelineStats tl = runPlannedTimeline(plan, cfg, cache,
+                                                  timeline_salt,
+                                                  out.failures);
+            out.shots += tl.shots;
+            out.failures += tl.failures;
+            out.totalEpochs += tl.epochs.size();
+            out.deadTimelines += tl.dead ? 1 : 0;
+            out.ledger.merge(tl.ledger);
+            out.timelines.push_back(std::move(tl));
+        }
+        out.cacheHits = cache.hits() - hits0;
+        out.cacheMisses = cache.misses() - misses0;
+        out.cacheEvictions = cache.evictions() - evictions0;
+
+        const auto est = estimateBinomial(out.failures, out.shots);
+        out.pShot = est.p;
+        out.se = est.stderr;
+        out.pRound = perRoundRate(
+            out.pShot, static_cast<size_t>(cfg.timeline.horizonRounds));
+        return out;
+    } catch (const StatusError &e) {
+        // Deep-layer failures (epoch planner, cache builders, decode
+        // workers via the pool's first-exception rethrow) surface here
+        // as values.
+        return e.status();
+    }
 }
 
 ScenarioResult
 runScenarioExperiment(const ScenarioConfig &cfg)
 {
-    ScenarioResult out;
-    out.horizonRounds = cfg.timeline.horizonRounds;
-    DeformedCodeCache local_cache;
-    DeformedCodeCache &cache = cfg.cache ? *cfg.cache : local_cache;
-    if (cfg.cacheMaxBytes || cfg.cacheMaxEntries)
-        cache.setBudget(cfg.cacheMaxBytes, cfg.cacheMaxEntries);
-    const uint64_t hits0 = cache.hits(), misses0 = cache.misses();
-    const uint64_t evictions0 = cache.evictions();
-
-    StrategyMemo memo;
-    const CodePatch base = squarePatch(cfg.timeline.d);
-    DefectModelParams model = cfg.defectModel;
-    model.eventRatePerQubitSec *= cfg.eventRateScale;
-
-    for (int t = 0; t < cfg.numTimelines; ++t) {
-        if (out.failures >= cfg.targetFailures)
-            break;
-        std::vector<DefectEvent> events;
-        if (cfg.eventRateScale > 0.0) {
-            DefectSampler sampler(model, mixSeed(cfg.seed, 0xdefec7 + t));
-            events = sampler.sampleEvents(base, cfg.timeline.horizonRounds);
-        }
-        const ScenarioPlan plan = planEpochs(cfg.timeline, events, &memo);
-        TimelineStats tl = runPlannedTimeline(
-            plan, cfg, cache,
-            cfg.seed + static_cast<uint64_t>(t) * kTimelineSeedStride,
-            out.failures);
-        out.shots += tl.shots;
-        out.failures += tl.failures;
-        out.totalEpochs += tl.epochs.size();
-        out.deadTimelines += tl.dead ? 1 : 0;
-        out.timelines.push_back(std::move(tl));
-    }
-    out.cacheHits = cache.hits() - hits0;
-    out.cacheMisses = cache.misses() - misses0;
-    out.cacheEvictions = cache.evictions() - evictions0;
-
-    const auto est = estimateBinomial(out.failures, out.shots);
-    out.pShot = est.p;
-    out.se = est.stderr;
-    out.pRound = perRoundRate(
-        out.pShot, static_cast<size_t>(cfg.timeline.horizonRounds));
-    return out;
+    StatusOr<ScenarioResult> result = runScenarioExperimentChecked(cfg);
+    if (!result.ok())
+        SURF_FATAL("scenario experiment: ", result.status().str());
+    return std::move(result.value());
 }
 
 } // namespace surf

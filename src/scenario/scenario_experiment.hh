@@ -29,8 +29,11 @@
 #define SURF_SCENARIO_SCENARIO_EXPERIMENT_HH
 
 #include "decode/memory_experiment.hh"
+#include "faultinject/fault_plan.hh"
 #include "scenario/deformed_code_cache.hh"
 #include "scenario/epoch_plan.hh"
+#include "util/deadline.hh"
+#include "util/status.hh"
 
 namespace surf {
 
@@ -74,6 +77,24 @@ struct ScenarioConfig
      *  pure functions of their keys. */
     size_t cacheMaxBytes = 0;
     size_t cacheMaxEntries = 0;
+
+    /**
+     * Per-stage soft decode budget in nanoseconds; 0 (the default)
+     * disables deadlines entirely and keeps every result bit-identical
+     * to earlier builds. When set, MWPM shots run the staged fallback
+     * ladder (sparse blossom → memoized rows → union-find; see
+     * util/deadline.hh) and every downgrade lands in the run's
+     * DegradationLedger. With a real clock the degradation pattern is
+     * wall-time dependent (best-effort); with a stall-injecting fault
+     * plan the clock turns virtual and replays become deterministic.
+     */
+    uint64_t decodeDeadlineNs = 0;
+    /** Deterministic fault schedule (default: everything off). The
+     *  SURF_FAULT_PLAN environment variable fills this when the config
+     *  leaves it empty. A plan with decoder stalls and no explicit
+     *  decodeDeadlineNs arms a default budget below the stall, so stall
+     *  plans force the ladder out of the box. */
+    FaultPlan faults;
 };
 
 /** Per-epoch statistics of one timeline. */
@@ -105,6 +126,9 @@ struct TimelineStats
     size_t events = 0;
     bool dead = false; ///< a deformation window destroyed the logical qubit
     std::vector<EpochStats> epochs;
+    /** Fallback-ladder and fault accounting (empty without a deadline or
+     *  fault plan). */
+    DegradationLedger ledger;
 };
 
 /** Aggregate scenario result. */
@@ -122,9 +146,39 @@ struct ScenarioResult
     uint64_t cacheMisses = 0;    ///< external shared cache)
     uint64_t cacheEvictions = 0; ///< evictions during this run
     std::vector<TimelineStats> timelines;
+    /** Run-wide degradation ledger (timeline ledgers merged in order). */
+    DegradationLedger ledger;
 };
 
-/** Run the scenario sweep. */
+/**
+ * Validate a scenario configuration: finite probabilities in range,
+ * positive shot/round/window counts, a sane code distance, known enum
+ * values and a well-formed fault plan. Everything runScenarioExperiment
+ * would otherwise die on becomes an INVALID_ARGUMENT here.
+ */
+Status validateScenarioConfig(const ScenarioConfig &cfg);
+
+/**
+ * Validate a sampled (or externally supplied / fault-mutated) defect
+ * stream against a scenario's lattice: every event needs a non-empty
+ * site set, an increasing cycle interval, and coordinates within the
+ * reachable deformation footprint. Rejects exactly the malformed shapes
+ * FaultInjector::mutateStream produces.
+ */
+Status validateDefectStream(const std::vector<DefectEvent> &events,
+                            const ScenarioConfig &cfg);
+
+/**
+ * Run the scenario sweep with structured error propagation: malformed
+ * configs, fault plans and defect streams come back as Status errors
+ * (never abort/exit), including errors thrown by decode workers (the
+ * thread pool rethrows the first task exception). The SURF_FAULT_PLAN
+ * environment plan is merged in when cfg.faults is empty.
+ */
+StatusOr<ScenarioResult> runScenarioExperimentChecked(const ScenarioConfig &cfg);
+
+/** Run the scenario sweep; dies with a fatal error on invalid input
+ *  (legacy entry — new callers want runScenarioExperimentChecked). */
 ScenarioResult runScenarioExperiment(const ScenarioConfig &cfg);
 
 /**

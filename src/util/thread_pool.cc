@@ -33,10 +33,21 @@ void
 ThreadPool::drain(const TaskFn &fn, size_t num_tasks, size_t worker_index)
 {
     for (;;) {
+        if (abort_.load(std::memory_order_relaxed))
+            return;
         const size_t t = next_task_.fetch_add(1, std::memory_order_relaxed);
         if (t >= num_tasks)
             return;
-        fn(t, worker_index);
+        try {
+            fn(t, worker_index);
+        } catch (...) {
+            {
+                std::lock_guard<std::mutex> lk(mutex_);
+                if (!first_error_)
+                    first_error_ = std::current_exception();
+            }
+            abort_.store(true, std::memory_order_relaxed);
+        }
     }
 }
 
@@ -74,6 +85,8 @@ ThreadPool::parallelFor(size_t num_tasks, const TaskFn &fn)
     if (num_tasks == 0)
         return;
     if (threads_.empty() || num_tasks == 1) {
+        // Inline execution: a throw propagates directly, which matches
+        // the pooled contract (first exception, later tasks skipped).
         for (size_t t = 0; t < num_tasks; ++t)
             fn(t, 0);
         return;
@@ -82,6 +95,8 @@ ThreadPool::parallelFor(size_t num_tasks, const TaskFn &fn)
         std::lock_guard<std::mutex> lk(mutex_);
         job_ = &fn;
         job_tasks_ = num_tasks;
+        first_error_ = nullptr;
+        abort_.store(false, std::memory_order_relaxed);
         next_task_.store(0, std::memory_order_relaxed);
         ++epoch_;
     }
@@ -93,6 +108,12 @@ ThreadPool::parallelFor(size_t num_tasks, const TaskFn &fn)
     std::unique_lock<std::mutex> lk(mutex_);
     done_.wait(lk, [&] { return draining_ == 0; });
     job_ = nullptr;
+    if (first_error_) {
+        std::exception_ptr e;
+        std::swap(e, first_error_);
+        lk.unlock();
+        std::rethrow_exception(e);
+    }
 }
 
 } // namespace surf

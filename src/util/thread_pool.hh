@@ -9,6 +9,12 @@
  * per-worker scratch state without locking. The calling thread
  * participates as worker 0, which makes a single-worker pool run inline
  * with zero synchronisation overhead.
+ *
+ * A task that throws no longer terminates the process: the first
+ * exception is captured, the remaining tasks of that job are abandoned
+ * (workers stop claiming), and parallelFor() — the job's completion
+ * wait — rethrows it on the calling thread once every worker has
+ * drained. Later jobs on the same pool run normally.
  */
 
 #ifndef SURF_UTIL_THREAD_POOL_HH
@@ -17,6 +23,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -49,6 +56,10 @@ class ThreadPool
      * tasks finished. Tasks are claimed dynamically, so per-task cost may
      * vary freely; determinism is the caller's job (e.g. per-worker
      * accumulators merged in a fixed order).
+     *
+     * If any task throws, the first captured exception is rethrown here
+     * after all workers have stopped; tasks not yet claimed at that
+     * point are skipped (the job's results are void anyway).
      */
     void parallelFor(size_t num_tasks, const TaskFn &fn);
 
@@ -71,6 +82,11 @@ class ThreadPool
     size_t draining_ = 0;         ///< workers inside drain (under mutex_)
     bool stop_ = false;
     std::atomic<size_t> next_task_{0};
+    /** First exception thrown by a task of the current job (under
+     *  mutex_); rethrown by parallelFor once the job has drained. */
+    std::exception_ptr first_error_;
+    /** Raised after a task throws: workers abandon unclaimed tasks. */
+    std::atomic<bool> abort_{false};
 };
 
 } // namespace surf

@@ -1,16 +1,22 @@
 /**
  * @file
- * Tests for RNG determinism/statistics and the stats helpers, including
- * the Poisson block-probability math behind the layout generator example
- * in paper Sec. VI.
+ * Tests for RNG determinism/statistics, the stats helpers (including the
+ * Poisson block-probability math behind the layout generator example in
+ * paper Sec. VI), the thread pool's exception contract, the Status
+ * result type and the deadline/degradation-ledger primitives.
  */
 
+#include <atomic>
 #include <cmath>
+#include <stdexcept>
 
 #include <gtest/gtest.h>
 
+#include "util/deadline.hh"
 #include "util/rng.hh"
 #include "util/stats.hh"
+#include "util/status.hh"
+#include "util/thread_pool.hh"
 
 namespace surf {
 namespace {
@@ -139,6 +145,135 @@ TEST(Stats, PaperLayoutExample)
     const double p_block = poissonTail(lambda, 1);
     EXPECT_LT(p_block, 0.01);
     EXPECT_NEAR(p_block, 0.0089, 0.0015);
+}
+
+TEST(ThreadPool, RethrowsFirstTaskException)
+{
+    // Regression: a throwing task used to escape the worker thread and
+    // terminate the process. The pool must capture the first exception,
+    // abandon the remaining tasks, and rethrow on the calling thread.
+    ThreadPool pool(4);
+    std::atomic<int> ran{0};
+    try {
+        pool.parallelFor(64, [&](size_t t, size_t) {
+            if (t == 7)
+                throw std::runtime_error("task 7 failed");
+            ran.fetch_add(1, std::memory_order_relaxed);
+        });
+        FAIL() << "parallelFor swallowed the task exception";
+    } catch (const std::runtime_error &e) {
+        EXPECT_STREQ(e.what(), "task 7 failed");
+    }
+    // Unclaimed tasks are abandoned once the exception is recorded.
+    EXPECT_LT(ran.load(), 64);
+}
+
+TEST(ThreadPool, UsableAfterTaskException)
+{
+    ThreadPool pool(3);
+    EXPECT_THROW(pool.parallelFor(
+                     8, [&](size_t, size_t) { throw StatusError(
+                         Status::dataLoss("stream ended")); }),
+                 StatusError);
+    // The pool must come back clean: later jobs run all their tasks and
+    // report no stale error.
+    std::atomic<int> ran{0};
+    pool.parallelFor(32, [&](size_t, size_t) {
+        ran.fetch_add(1, std::memory_order_relaxed);
+    });
+    EXPECT_EQ(ran.load(), 32);
+}
+
+TEST(ThreadPool, InlineExecutionPropagatesException)
+{
+    ThreadPool pool(1); // caller-only pool: tasks run inline
+    EXPECT_THROW(pool.parallelFor(
+                     4, [&](size_t, size_t) {
+                         throw std::logic_error("inline");
+                     }),
+                 std::logic_error);
+}
+
+TEST(Status, CarriesCodeAndMessage)
+{
+    const Status ok = Status::okStatus();
+    EXPECT_TRUE(ok.ok());
+    EXPECT_EQ(ok.str(), "OK");
+    const Status bad = Status::invalidArgument("d must be >= 2");
+    EXPECT_FALSE(bad.ok());
+    EXPECT_EQ(bad.code(), StatusCode::kInvalidArgument);
+    EXPECT_EQ(bad.str(), "INVALID_ARGUMENT: d must be >= 2");
+}
+
+TEST(Status, StatusOrRoundTrips)
+{
+    StatusOr<int> good(42);
+    ASSERT_TRUE(good.ok());
+    EXPECT_EQ(*good, 42);
+    StatusOr<int> bad(Status::dataLoss("truncated"));
+    ASSERT_FALSE(bad.ok());
+    EXPECT_EQ(bad.status().code(), StatusCode::kDataLoss);
+    EXPECT_THROW(bad.value(), StatusError);
+}
+
+TEST(Deadline, VirtualClockIsDeterministic)
+{
+    DecodeDeadline dl;
+    dl.configure(1000, /*virtualClock=*/true);
+    EXPECT_TRUE(dl.armed());
+    dl.beginStage(500); // stall below budget
+    EXPECT_EQ(dl.stageElapsedNs(), 500u);
+    EXPECT_FALSE(dl.expired());
+    dl.beginStage(1500); // stall past budget
+    EXPECT_EQ(dl.stageElapsedNs(), 1500u);
+    EXPECT_TRUE(dl.expired());
+}
+
+TEST(Deadline, DisarmedNeverExpires)
+{
+    DecodeDeadline dl; // softNs = 0
+    dl.beginStage(uint64_t{1} << 40);
+    EXPECT_FALSE(dl.armed());
+    EXPECT_FALSE(dl.expired());
+}
+
+TEST(Deadline, LedgerRecordsLadderTrips)
+{
+    DegradationLedger led;
+    EXPECT_TRUE(led.empty());
+    ShotLadderTrace trace;
+    trace.reset();
+    trace.note(kStageBlossom, 2000, /*expired=*/true);
+    trace.note(kStageRows, 700, /*expired=*/false);
+    trace.answer = kStageRows;
+    led.record(trace);
+    EXPECT_EQ(led.ladderDecodes, 1u);
+    EXPECT_EQ(led.degradedDecodes, 1u);
+    EXPECT_EQ(led.stageAttempts[kStageBlossom], 1u);
+    EXPECT_EQ(led.stageTimeouts[kStageBlossom], 1u);
+    EXPECT_EQ(led.stageCompleted[kStageRows], 1u);
+    EXPECT_EQ(led.stageLatency[kStageRows].samples, 1u);
+    EXPECT_EQ(led.stageLatency[kStageRows].maxNs, 700u);
+
+    DegradationLedger other;
+    other.record(trace);
+    led.merge(other);
+    EXPECT_EQ(led.ladderDecodes, 2u);
+    EXPECT_EQ(led.stageAttempts[kStageRows], 2u);
+    EXPECT_FALSE(led.summary().empty());
+}
+
+TEST(Deadline, HistogramQuantiles)
+{
+    LatencyHistogram h;
+    for (uint64_t ns : {100u, 200u, 400u, 100000u})
+        h.add(ns);
+    EXPECT_EQ(h.samples, 4u);
+    EXPECT_EQ(h.maxNs, 100000u);
+    EXPECT_GT(h.meanNs(), 0.0);
+    // The p50 upper bound must not be dragged up to the outlier bucket.
+    EXPECT_LE(h.quantileUpperBoundNs(0.5), 512u);
+    EXPECT_GE(h.quantileUpperBoundNs(0.99), 65536u);
 }
 
 } // namespace
