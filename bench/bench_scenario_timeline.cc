@@ -15,14 +15,24 @@
  * latency quantiles, injected-fault tallies — and the accuracy cost of
  * degrading (p_shot delta vs the clean pass), into BENCH_robustness.json.
  *
+ * A third, persistence pass runs the identical workload against a
+ * snapshot directory (--persist_dir=DIR, default a fresh temp dir):
+ * cold-persist vs warm-restart epochs/sec, restore wall time, snapshot
+ * size, and a corrupted-snapshot recovery check, into BENCH_persist.json
+ * — with a non-zero exit when warm results diverge or nothing restores.
+ *
  * Flags: --scale=S (Monte-Carlo budget), --d=N, --timelines=N,
  * --cache_mb=M (bound the shared cache to M megabytes; 0 = unbounded),
  * --deadline_ns=N (per-stage soft decode budget for the robustness pass),
- * --fault=PLAN (fault plan for the robustness pass), --json=DIR
+ * --fault=PLAN (fault plan for the robustness pass),
+ * --persist_dir=DIR (snapshot directory for the persistence pass),
+ * --json=DIR
  */
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <string>
 
 #include "bench_util.hh"
 #include "scenario/scenario_experiment.hh"
@@ -262,5 +272,117 @@ main(int argc, char **argv)
     robustness.metric("all_shots_completed",
                       degraded.result.shots == uncached.result.shots ? 1.0
                                                                      : 0.0);
+
+    // Persistence pass: the same workload with a snapshot directory. The
+    // first run builds cold and writes cache.snap on completion; the
+    // second starts from the snapshot (fresh in-memory cache each time,
+    // so the speedup is pure restore, not residency). A third run writes
+    // a deliberately corrupted snapshot and the recovery run after it
+    // must cold-start cleanly. Gates (non-zero exit): warm results must
+    // be bit-identical and the warm pass must actually restore entries.
+    header("Warm-start persistence: cold-persist vs warm-restart");
+    JsonReport persist(argc, argv, "persist");
+    std::string pdir = flagString(argc, argv, "persist_dir", "");
+    if (pdir.empty()) {
+        char tmpl[] = "/tmp/surf_bench_persist_XXXXXX";
+        const char *made = ::mkdtemp(tmpl);
+        if (!made) {
+            std::fprintf(stderr, "mkdtemp failed\n");
+            return 1;
+        }
+        pdir = made;
+    }
+
+    ScenarioConfig persist_cfg = workload(d, timelines);
+    persist_cfg.persistDir = pdir; // fresh local cache per run
+    const Timed cold_persist = run(persist_cfg);
+    const double cold_persist_eps =
+        cold_persist.result.totalEpochs /
+        std::max(1e-9, cold_persist.seconds);
+    std::printf("cold+persist: %5lu epochs in %6.2f s -> %7.1f epochs/s  "
+                "(snapshot %.1f KiB)\n",
+                static_cast<unsigned long>(cold_persist.result.totalEpochs),
+                cold_persist.seconds, cold_persist_eps,
+                cold_persist.result.persistSnapshotBytes / 1024.0);
+
+    const Timed warm_restart = run(persist_cfg);
+    const double warm_restart_eps =
+        warm_restart.result.totalEpochs /
+        std::max(1e-9, warm_restart.seconds);
+    const ScenarioResult &wr = warm_restart.result;
+    std::printf("warm-restart: %5lu epochs in %6.2f s -> %7.1f epochs/s  "
+                "(restored %lu segments + %lu timelines + %lu rows in "
+                "%.1f ms)\n",
+                static_cast<unsigned long>(wr.totalEpochs),
+                warm_restart.seconds, warm_restart_eps,
+                static_cast<unsigned long>(wr.persistRestoredSegments),
+                static_cast<unsigned long>(wr.persistRestoredTimelines),
+                static_cast<unsigned long>(wr.persistRestoredRows),
+                1e3 * wr.persistRestoreSeconds);
+
+    // Corruption pass: flip bits in the snapshot as it is written, then
+    // verify the next run survives on a cold rebuild.
+    ScenarioConfig corrupt_cfg = persist_cfg;
+    const StatusOr<FaultPlan> corrupt_plan =
+        parseFaultPlan("seed=9;snap.bitflip.p=2e-4");
+    if (!corrupt_plan.ok()) {
+        std::fprintf(stderr, "%s\n", corrupt_plan.status().str().c_str());
+        return 1;
+    }
+    corrupt_cfg.faults = *corrupt_plan;
+    const Timed corrupt_write = run(corrupt_cfg);
+    const Timed recovery = run(persist_cfg);
+    std::printf("corrupt-recovery: %lu records rejected, %lu cold "
+                "recoveries; results identical: %s\n",
+                static_cast<unsigned long>(
+                    recovery.result.persistRejectedRecords),
+                static_cast<unsigned long>(recovery.result.persistRecoveries),
+                recovery.result.failures == uncached.result.failures
+                    ? "yes"
+                    : "NO (BUG)");
+
+    const bool warm_identical =
+        wr.failures == uncached.result.failures &&
+        wr.shots == uncached.result.shots &&
+        cold_persist.result.failures == uncached.result.failures &&
+        recovery.result.failures == uncached.result.failures;
+    const bool warm_restored = wr.persistRestoredSegments > 0;
+    std::printf("warm-restart speedup %.1fx vs cold+persist; restore "
+                "%.1f ms; identical results: %s\n",
+                warm_restart_eps / std::max(1e-9, cold_persist_eps),
+                1e3 * wr.persistRestoreSeconds,
+                warm_identical ? "yes" : "NO (BUG)");
+
+    persist.metric("epochs_per_sec_cold_persist", cold_persist_eps);
+    persist.metric("epochs_per_sec_warm_restart", warm_restart_eps);
+    persist.metric("warm_restart_speedup",
+                   warm_restart_eps / std::max(1e-9, cold_persist_eps));
+    persist.metric("restore_ms", 1e3 * wr.persistRestoreSeconds);
+    persist.metric("snapshot_bytes",
+                   static_cast<double>(
+                       cold_persist.result.persistSnapshotBytes));
+    persist.metric("restored_segments",
+                   static_cast<double>(wr.persistRestoredSegments));
+    persist.metric("restored_timelines",
+                   static_cast<double>(wr.persistRestoredTimelines));
+    persist.metric("restored_rows",
+                   static_cast<double>(wr.persistRestoredRows));
+    persist.metric("rejected_records_clean",
+                   static_cast<double>(wr.persistRejectedRecords));
+    persist.metric("corrupt_rejected_records",
+                   static_cast<double>(
+                       recovery.result.persistRejectedRecords));
+    persist.metric("corrupt_recoveries",
+                   static_cast<double>(recovery.result.persistRecoveries));
+    persist.metric("results_identical", warm_identical ? 1.0 : 0.0);
+    persist.metric("warm_restored_nonzero", warm_restored ? 1.0 : 0.0);
+    (void)corrupt_write;
+
+    if (!warm_identical || !warm_restored) {
+        std::fprintf(stderr, "persistence gate failed: identical=%d "
+                             "restored=%d\n",
+                     warm_identical, warm_restored);
+        return 1;
+    }
     return 0;
 }

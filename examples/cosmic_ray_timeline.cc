@@ -7,14 +7,16 @@
  * structural distances the old window-loop demo printed.
  *
  * Usage: example_cosmic_ray_timeline [d] [rounds] [threads] [seed]
- *                                    [deadline_ns]
+ *                                    [deadline_ns] [persist_dir]
  * (defaults: d=7, rounds=240, threads=hardware, seed=20240610,
- *  deadline_ns=0 i.e. no per-shot decode budget)
+ *  deadline_ns=0 i.e. no per-shot decode budget, persistence off)
  *
  * Passing a deadline_ns arms the staged fallback ladder (sparse-blossom
  * -> memoized rows -> union-find) and prints the degradation ledger at
  * the end; setting SURF_FAULT_PLAN (e.g. "seed=3;stall.p=0.3") injects
- * deterministic decoder stalls to force it.
+ * deterministic decoder stalls to force it. Passing a persist_dir (or
+ * setting SURF_PERSIST_DIR) snapshots the deformed-code cache there, so
+ * a second invocation warm-starts its decoders from disk.
  */
 
 #include <cstdio>
@@ -53,6 +55,8 @@ main(int argc, char **argv)
                         : 20240610;
     cfg.decodeDeadlineNs =
         argc > 5 ? static_cast<uint64_t>(std::atoll(argv[5])) : 0;
+    if (argc > 6)
+        cfg.persistDir = argv[6];
 
     const size_t threads =
         cfg.threads ? cfg.threads : ThreadPool::hardwareThreads();
@@ -105,6 +109,14 @@ main(int argc, char **argv)
                 static_cast<unsigned long>(res.totalEpochs));
     if (!res.ledger.empty())
         std::printf("\ndegradation ledger:\n%s", res.ledger.summary().c_str());
+    if (!cfg.persistDir.empty())
+        std::printf("\npersistence: restored %lu segments + %lu rows in "
+                    "%.1f ms; snapshot %.1f KiB in %s\n",
+                    static_cast<unsigned long>(res.persistRestoredSegments),
+                    static_cast<unsigned long>(res.persistRestoredRows),
+                    1e3 * res.persistRestoreSeconds,
+                    res.persistSnapshotBytes / 1024.0,
+                    cfg.persistDir.c_str());
     std::printf("\nThe patch returns to its pristine footprint whenever no "
                 "event is active; every recurrence of a deformed shape "
                 "reuses the cached decoder.\n");

@@ -24,14 +24,31 @@ LayoutGenerator::blockProbability(int d, int delta_d) const
     return poissonTail(lambda, absorbable);
 }
 
-int
-LayoutGenerator::chooseDeltaD(int d, double alpha_block) const
+StatusOr<int>
+LayoutGenerator::chooseDeltaDChecked(int d, double alpha_block) const
 {
+    if (d < 3)
+        return Status::invalidArgument("code distance d = " +
+                                       std::to_string(d) + " < 3");
+    if (!(alpha_block > 0.0 && alpha_block <= 1.0))
+        return Status::invalidArgument(
+            "alpha_block = " + std::to_string(alpha_block) +
+            " outside (0, 1]");
     for (int delta = 0; delta <= 64 * model_.regionDiameter; ++delta)
         if (blockProbability(d, delta) <= alpha_block)
             return delta;
-    SURF_FATAL("no Delta_d below 64 regions satisfies alpha_block = ",
-               alpha_block);
+    return Status::invalidArgument(
+        "no Delta_d below 64 regions satisfies alpha_block = " +
+        std::to_string(alpha_block));
+}
+
+int
+LayoutGenerator::chooseDeltaD(int d, double alpha_block) const
+{
+    StatusOr<int> delta = chooseDeltaDChecked(d, alpha_block);
+    if (!delta.ok())
+        SURF_FATAL(delta.status().str());
+    return *delta;
 }
 
 int
@@ -49,18 +66,28 @@ LayoutGenerator::interspace(int d, int delta_d, InterspaceScheme scheme)
     return d;
 }
 
-LayoutPlan
-LayoutGenerator::plan(int num_logical, int d, InterspaceScheme scheme,
-                      double alpha_block) const
+StatusOr<LayoutPlan>
+LayoutGenerator::planChecked(int num_logical, int d, InterspaceScheme scheme,
+                             double alpha_block) const
 {
-    SURF_ASSERT(num_logical >= 1 && d >= 3);
+    if (num_logical < 1)
+        return Status::invalidArgument("num_logical = " +
+                                       std::to_string(num_logical) + " < 1");
+    if (d < 3)
+        return Status::invalidArgument("code distance d = " +
+                                       std::to_string(d) + " < 3");
     LayoutPlan out;
     out.numLogical = num_logical;
     out.d = d;
     out.scheme = scheme;
-    out.deltaD = (scheme == InterspaceScheme::SurfDeformer)
-                     ? chooseDeltaD(d, alpha_block)
-                     : 0;
+    if (scheme == InterspaceScheme::SurfDeformer) {
+        StatusOr<int> delta = chooseDeltaDChecked(d, alpha_block);
+        if (!delta.ok())
+            return delta.status();
+        out.deltaD = *delta;
+    } else {
+        out.deltaD = 0;
+    }
     out.pBlock = (scheme == InterspaceScheme::SurfDeformer)
                      ? blockProbability(d, out.deltaD)
                      : blockProbability(d, 0);
@@ -77,6 +104,16 @@ LayoutGenerator::plan(int num_logical, int d, InterspaceScheme scheme,
     const long h = static_cast<long>(out.gridRows) * (d + s) + s;
     out.physicalQubits = static_cast<size_t>(2L * w * h);
     return out;
+}
+
+LayoutPlan
+LayoutGenerator::plan(int num_logical, int d, InterspaceScheme scheme,
+                      double alpha_block) const
+{
+    StatusOr<LayoutPlan> out = planChecked(num_logical, d, scheme, alpha_block);
+    if (!out.ok())
+        SURF_FATAL(out.status().str());
+    return *out;
 }
 
 } // namespace surf

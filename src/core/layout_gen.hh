@@ -14,6 +14,8 @@
 #include <cstddef>
 #include <cstdint>
 
+#include "util/status.hh"
+
 namespace surf {
 
 /**
@@ -88,14 +90,31 @@ class LayoutGenerator
      */
     double blockProbability(int d, int delta_d) const;
 
-    /** Smallest Delta_d with blockProbability <= alpha_block. */
+    /**
+     * Smallest Delta_d with blockProbability <= alpha_block. When no
+     * Delta_d below 64 defect regions satisfies the target (the defect
+     * rate swamps the patch), returns INVALID_ARGUMENT rather than
+     * aborting — alpha_block is user input.
+     */
+    StatusOr<int> chooseDeltaDChecked(int d, double alpha_block = 0.01) const;
+
+    /** chooseDeltaDChecked; dies with a fatal error when unsatisfiable
+     *  (legacy entry — new callers want the checked variant). */
     int chooseDeltaD(int d, double alpha_block = 0.01) const;
 
     /**
      * Assemble the full layout plan: logical tiles on a near-square grid
      * with the scheme's inter-space, physical qubits = 2 per lattice site
-     * over the enclosed area (data + measurement qubits).
+     * over the enclosed area (data + measurement qubits). Rejects
+     * num_logical < 1, d < 3, alpha_block outside (0, 1] and an
+     * unsatisfiable Delta_d search as INVALID_ARGUMENT.
      */
+    StatusOr<LayoutPlan> planChecked(int num_logical, int d,
+                                     InterspaceScheme scheme,
+                                     double alpha_block = 0.01) const;
+
+    /** planChecked; dies with a fatal error on invalid input (legacy
+     *  entry — new callers want the checked variant). */
     LayoutPlan plan(int num_logical, int d, InterspaceScheme scheme,
                     double alpha_block = 0.01) const;
 

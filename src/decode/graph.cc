@@ -44,7 +44,7 @@ defaultMatchingBackend()
 
 DecodingGraph::DecodingGraph(const DetectorErrorModel &dem, uint8_t tag,
                              ThreadPool *pool, MatchingBackend backend)
-    : backend_(backend)
+    : backend_(backend), tag_(tag)
 {
     local_of_.assign(dem.numDetectors, -1);
     for (uint32_t d = 0; d < dem.numDetectors; ++d) {
@@ -309,6 +309,88 @@ DecodingGraph::row(int src, bool exact, DijkstraScratch &sc) const
             return cur;
         }
     }
+}
+
+uint64_t
+DecodingGraph::csrDigest() const
+{
+    // 64-bit FNV-1a over the CSR arrays' exact bit patterns (weights
+    // hashed as their IEEE-754 images, so "equal digest" means
+    // bit-identical relaxation inputs, not merely approximately equal).
+    uint64_t h = 0xcbf29ce484222325ull;
+    auto mix = [&h](uint64_t v) {
+        for (int i = 0; i < 8; ++i) {
+            h ^= (v >> (8 * i)) & 0xff;
+            h *= 0x100000001b3ull;
+        }
+    };
+    mix(numNodes());
+    for (uint32_t v : csr_off_)
+        mix(v);
+    for (int v : csr_to_)
+        mix(static_cast<uint64_t>(static_cast<int64_t>(v)));
+    for (double w : csr_w_) {
+        uint64_t bits;
+        std::memcpy(&bits, &w, sizeof bits);
+        mix(bits);
+    }
+    for (uint8_t v : csr_obs_)
+        mix(v);
+    return h;
+}
+
+void
+DecodingGraph::forEachResidentRow(
+    const std::function<void(int src, const Row &row)> &fn) const
+{
+    if (backend_ == MatchingBackend::Dense)
+        return;
+    for (size_t i = 0; i < rows_.size(); ++i) {
+        // Owned handle: the row stays alive through the visit even if
+        // the budget evicts the slot concurrently.
+        std::shared_ptr<const Row> r =
+            rows_[i].load(std::memory_order_acquire);
+        if (r)
+            fn(static_cast<int>(i), *r);
+    }
+}
+
+bool
+DecodingGraph::restoreRow(int src, Row &&row) const
+{
+    if (backend_ == MatchingBackend::Dense)
+        return false;
+    if (src < 0 || static_cast<size_t>(src) >= rows_.size())
+        return false;
+    const size_t n = numNodes() + 1;
+    if (row.dist.size() != n || row.par.size() != n)
+        return false;
+    if (!(row.radius >= 0.0)) // rejects NaN and negative radii
+        return false;
+    auto &slot = rows_[static_cast<size_t>(src)];
+    std::shared_ptr<const Row> cur = slot.load(std::memory_order_acquire);
+    if (cur)
+        return false; // a live row exists; values are identical anyway
+    std::shared_ptr<const Row> fresh =
+        std::make_shared<const Row>(std::move(row));
+    if (!slot.compare_exchange_strong(cur, fresh,
+                                      std::memory_order_acq_rel,
+                                      std::memory_order_acquire))
+        return false; // lost a publish race to a decode worker
+    // Same bookkeeping as row()'s first publication, except rows_built_
+    // stays untouched: a restore avoids a build, it doesn't perform one.
+    rows_resident_.fetch_add(1, std::memory_order_relaxed);
+    fast_rows_[static_cast<size_t>(src)].store(fresh.get(),
+                                               std::memory_order_release);
+    if (row_budget_.load(std::memory_order_relaxed)) {
+        row_stamp_[static_cast<size_t>(src)].store(
+            row_tick_.fetch_add(1, std::memory_order_relaxed) + 1,
+            std::memory_order_relaxed);
+        if (rows_resident_.load(std::memory_order_relaxed) >
+            row_budget_.load(std::memory_order_relaxed))
+            enforceRowBudget();
+    }
+    return true;
 }
 
 void

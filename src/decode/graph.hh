@@ -25,6 +25,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <limits>
 #include <memory>
 #include <mutex>
@@ -117,6 +118,8 @@ class DecodingGraph
     size_t numNodes() const { return global_of_.size(); }
     int boundaryNode() const { return static_cast<int>(numNodes()); }
     MatchingBackend backend() const { return backend_; }
+    /** The detector tag this graph was built over (snapshot identity). */
+    uint8_t tag() const { return tag_; }
 
     /** Read-only CSR adjacency over numNodes()+1 nodes (last = the
      *  boundary), in DEM edge order — the shared relaxation order. The
@@ -216,6 +219,37 @@ class DecodingGraph
     /** Rough heap footprint (cache accounting). */
     size_t memoryBytes() const;
 
+    /**
+     * Structural digest of the CSR adjacency (offsets, targets, weight
+     * bit patterns, parity flags). Two graphs built from the same DEM
+     * have equal digests; the snapshot loader compares a restored
+     * entry's recorded digest against the graph it rebuilds to catch
+     * semantically inconsistent snapshots (a payload that passed its
+     * CRC but belongs to different code) before any row is trusted.
+     */
+    uint64_t csrDigest() const;
+
+    /**
+     * Visit every currently resident memoized row (Sparse backends
+     * only; no-op for Dense). Safe against concurrent publication and
+     * budget eviction: each slot is loaded as an owned handle for the
+     * duration of its visit. Used by the snapshot writer.
+     */
+    void forEachResidentRow(
+        const std::function<void(int src, const Row &row)> &fn) const;
+
+    /**
+     * Publish a previously memoized row into an empty slot — the
+     * snapshot-restore path. Rows are pure functions of (src, radius
+     * policy), so a restored row is bit-identical to what the first
+     * decode worker would have built; publishing uses the same CAS
+     * discipline as row(), so restores race safely against concurrent
+     * readers and row-budget reclamation. Rejects (returns false)
+     * out-of-range sources, size-mismatched arrays, non-finite
+     * negative radii and occupied slots; never aborts.
+     */
+    bool restoreRow(int src, Row &&row) const;
+
     static constexpr double kInf = std::numeric_limits<double>::infinity();
 
   private:
@@ -254,6 +288,7 @@ class DecodingGraph
     Row *buildRow(int src, bool exact, DijkstraScratch &sc) const;
 
     MatchingBackend backend_;
+    uint8_t tag_ = 0;
     std::vector<uint32_t> global_of_;
     std::vector<int> local_of_;
     // CSR adjacency over numNodes()+1 nodes (last = boundary). Neighbor

@@ -4,6 +4,9 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+
+#include "persist/snapshot.hh"
 
 namespace surf {
 
@@ -19,6 +22,7 @@ enum Site : uint64_t
     kSiteCorrupt = 0xc021ULL,
     kSiteBurst = 0xb021ULL,
     kSiteBurstCenter = 0xb022ULL,
+    kSiteSnapBitflip = 0x50b1ULL,
 };
 
 /** SplitMix64 over the fold of (seed, site, a, b, c): stateless, so
@@ -84,6 +88,14 @@ FaultPlan::summary() const
                       burstSize);
         out += buf;
     }
+    if (snapTornFrac >= 0.0 || snapBitflipProb > 0.0 || snapStale ||
+        snapKillTimelines) {
+        std::snprintf(buf, sizeof buf,
+                      "; snap torn=%g bitflip.p=%g stale=%d kill=%u",
+                      snapTornFrac, snapBitflipProb, snapStale ? 1 : 0,
+                      snapKillTimelines);
+        out += buf;
+    }
     return out;
 }
 
@@ -117,6 +129,13 @@ validateFaultPlan(const FaultPlan &plan)
     if (plan.burstProb > 0.0 && plan.burstSize == 0)
         return Status::invalidArgument("fault plan: burst.size must be > 0 "
                                        "when burst.p > 0");
+    if (!prob_ok(plan.snapBitflipProb))
+        return Status::invalidArgument("fault plan: snap.bitflip.p must be "
+                                       "a probability in [0, 1]");
+    if (plan.snapTornFrac >= 0.0 &&
+        !(std::isfinite(plan.snapTornFrac) && plan.snapTornFrac <= 1.0))
+        return Status::invalidArgument("fault plan: snap.torn must be in "
+                                       "[0, 1]");
     return Status::okStatus();
 }
 
@@ -187,12 +206,21 @@ parseFaultPlan(const std::string &spec)
             plan.burstProb = num;
         else if (key == "burst.size")
             plan.burstSize = static_cast<uint32_t>(num);
+        else if (key == "snap.torn")
+            plan.snapTornFrac = num;
+        else if (key == "snap.bitflip.p")
+            plan.snapBitflipProb = num;
+        else if (key == "snap.stale")
+            plan.snapStale = num != 0.0;
+        else if (key == "snap.kill")
+            plan.snapKillTimelines = static_cast<uint32_t>(num);
         else
             return badClause(clause,
                              "unknown key (expected seed, stall.p, "
                              "stall.ns, stall.stages, storm.epochs, "
                              "storm.batches, truncate.frac, corrupt.p, "
-                             "burst.p, burst.size)");
+                             "burst.p, burst.size, snap.torn, "
+                             "snap.bitflip.p, snap.stale, snap.kill)");
     }
     if (const Status s = validateFaultPlan(plan); !s.ok())
         return s;
@@ -301,6 +329,40 @@ FaultInjector::injectBurst(uint64_t salt, uint64_t shot, uint64_t epoch,
     std::sort(ids.begin(), ids.end());
     ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
     return ids.size() - before; // net new detectors (overlaps dedup away)
+}
+
+void
+FaultInjector::mutateSnapshotBytes(uint64_t salt, std::string &bytes) const
+{
+    // Header layout (persist/snapshot.hh): magic[8] | format u32 at 8 |
+    // abi u32 at 12 | crc32 of bytes [0, 16) at 16.
+    if (plan_.snapStale && bytes.size() >= 20) {
+        const uint32_t alien = 0xFFFFFFFFu;
+        std::memcpy(&bytes[8], &alien, sizeof alien);
+        // Recompute the header CRC so the loader's version check fires,
+        // not its CRC check — this shape models a well-formed file from
+        // a different build, not media damage.
+        const uint32_t c = crc32(bytes.data(), 16);
+        std::memcpy(&bytes[16], &c, sizeof c);
+    }
+    if (plan_.snapBitflipProb > 0.0) {
+        for (size_t i = 0; i < bytes.size(); ++i) {
+            const uint64_t h = mix(plan_.seed, kSiteSnapBitflip, salt, i);
+            if (unit(h) < plan_.snapBitflipProb)
+                bytes[i] = static_cast<char>(
+                    static_cast<uint8_t>(bytes[i]) ^
+                    static_cast<uint8_t>(1u << ((h >> 8) & 7)));
+        }
+    }
+    // Torn write last: whatever the other faults produced, the tail is
+    // simply missing — the shape a crash mid-write leaves behind.
+    if (plan_.snapTornFrac >= 0.0) {
+        const auto keep = static_cast<size_t>(
+            std::floor(plan_.snapTornFrac *
+                       static_cast<double>(bytes.size())));
+        if (keep < bytes.size())
+            bytes.resize(keep);
+    }
 }
 
 } // namespace surf

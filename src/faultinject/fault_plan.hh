@@ -23,12 +23,18 @@
  *    validation must reject with a Status, never UB;
  *  - adversarial burst syndromes (burst.*): a contiguous run of extra
  *    fired detectors spliced into a shot's defect list ahead of decoding,
- *    the worst-case input shape for the matching backends.
+ *    the worst-case input shape for the matching backends;
+ *  - snapshot faults (snap.*): corruption applied to warm-start snapshot
+ *    bytes as they are written (src/persist) — torn-write truncation,
+ *    seeded single-bit flips, a stale format-version stamp — plus
+ *    snap.kill=N, which aborts the run (Status ABORTED) after N
+ *    timelines complete, the kill/resume checkpoint harness.
  *
  * SURF_FAULT_PLAN syntax: semicolon-separated key=value clauses, e.g.
  *   seed=7;stall.p=1;stall.ns=50e6;stall.stages=blossom,rows;
  *   storm.epochs=2;storm.batches=3;truncate.frac=0.5;corrupt.p=0.1;
- *   burst.p=0.05;burst.size=40
+ *   burst.p=0.05;burst.size=40;snap.torn=0.6;snap.bitflip.p=1e-4;
+ *   snap.stale=1;snap.kill=3
  * Unknown keys and out-of-range values are INVALID_ARGUMENT errors.
  */
 
@@ -68,11 +74,27 @@ struct FaultPlan
     double burstProb = 0.0;  ///< per (shot, epoch)
     uint32_t burstSize = 32; ///< contiguous detectors per injected burst
 
+    // --- snapshot faults (src/persist) ----------------------------------
+    double snapTornFrac = -1.0;   ///< truncate written snapshots to this
+                                  ///< fraction of their bytes (<0 = off);
+                                  ///< models a torn write / full disk
+    double snapBitflipProb = 0.0; ///< per written snapshot byte: flip one
+                                  ///< seeded bit (media corruption)
+    bool snapStale = false;       ///< stamp an alien format version (with
+                                  ///< a matching header CRC) — version
+                                  ///< skew from an older/newer writer
+    uint32_t snapKillTimelines = 0; ///< abort the run once this many
+                                    ///< timelines have completed
+                                    ///< cumulatively (0 = off) — the
+                                    ///< kill/resume harness
+
     bool
     enabled() const
     {
         return stallProb > 0.0 || stormEveryEpochs || stormEveryBatches ||
-               truncateFrac >= 0.0 || corruptProb > 0.0 || burstProb > 0.0;
+               truncateFrac >= 0.0 || corruptProb > 0.0 || burstProb > 0.0 ||
+               snapTornFrac >= 0.0 || snapBitflipProb > 0.0 || snapStale ||
+               snapKillTimelines;
     }
     bool hasDecoderStalls() const { return stallProb > 0.0; }
 
@@ -135,6 +157,20 @@ class FaultInjector
     size_t injectBurst(uint64_t salt, uint64_t shot, uint64_t epoch,
                        size_t numDetectors,
                        std::vector<uint32_t> &ids) const;
+
+    /**
+     * Apply the plan's snapshot faults to a finished snapshot byte image
+     * just before it reaches the filesystem (persist/SnapshotWriter):
+     * stale version stamp (with a recomputed header CRC, so the version
+     * check itself fires, not the CRC), seeded per-byte single-bit
+     * flips, then tail truncation — torn write last, like real media.
+     * The loader must degrade every shape to a cold rebuild.
+     */
+    void mutateSnapshotBytes(uint64_t salt, std::string &bytes) const;
+
+    /** Cumulative completed-timeline count at which the engine simulates
+     *  a crash (Status ABORTED); 0 = never. */
+    uint32_t killAfterTimelines() const { return plan_.snapKillTimelines; }
 
   private:
     FaultPlan plan_;

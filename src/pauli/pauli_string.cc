@@ -4,8 +4,8 @@
 
 namespace surf {
 
-PauliString
-PauliString::fromString(const std::string &text)
+StatusOr<PauliString>
+PauliString::parse(const std::string &text)
 {
     size_t start = 0;
     uint8_t phase = 0;
@@ -30,11 +30,23 @@ PauliString::fromString(const std::string &text)
             p.setPauli(i - start, Pauli::Z);
             break;
           default:
-            SURF_FATAL("bad Pauli character '", text[i], "'");
+            return Status::invalidArgument(
+                "bad Pauli character '" + std::string(1, text[i]) +
+                "' at position " + std::to_string(i) + " in \"" + text +
+                "\"");
         }
     }
     p.phase_ = (p.phase_ + phase) & 3;
     return p;
+}
+
+PauliString
+PauliString::fromString(const std::string &text)
+{
+    StatusOr<PauliString> p = parse(text);
+    if (!p.ok())
+        SURF_FATAL(p.status().str());
+    return std::move(*p);
 }
 
 PauliString

@@ -13,6 +13,7 @@
 #include <string>
 
 #include "pauli/bitvec.hh"
+#include "util/status.hh"
 
 namespace surf {
 
@@ -50,8 +51,13 @@ class PauliString
 
     /**
      * Parse from text like "+XIZZY" or "-ZZ". A 'Y' contributes i*XZ, so
-     * the stored phase accounts for it.
+     * the stored phase accounts for it. Characters outside [IXYZ_+-]
+     * come back as INVALID_ARGUMENT.
      */
+    static StatusOr<PauliString> parse(const std::string &text);
+
+    /** Parse; dies with a fatal error on a bad character (legacy entry —
+     *  new callers want parse()). */
     static PauliString fromString(const std::string &text);
 
     /** Weight-1 operator P on qubit q of an n-qubit register. */

@@ -219,6 +219,70 @@ DeformedCodeCache::evictAll()
 }
 
 void
+DeformedCodeCache::forEachSegment(
+    const std::function<void(const std::string &key, const CachedSegment &seg,
+                             double cost)> &fn) const
+{
+    for (const auto &[key, e] : entries_)
+        if (e.seg)
+            fn(key, *e.seg, e.cost);
+}
+
+void
+DeformedCodeCache::forEachTimeline(
+    const std::function<void(const std::string &key, const CachedTimeline &tl,
+                             double cost)> &fn) const
+{
+    for (const auto &[key, e] : entries_)
+        if (e.tl)
+            fn(key, *e.tl, e.cost);
+}
+
+std::shared_ptr<const CachedSegment>
+DeformedCodeCache::peekSegment(const std::string &key) const
+{
+    const auto it = entries_.find(key);
+    return (it != entries_.end() && it->second.seg) ? it->second.seg
+                                                    : nullptr;
+}
+
+bool
+DeformedCodeCache::restoreSegment(const std::string &key, CachedSegment seg,
+                                  double cost)
+{
+    if (entries_.count(key))
+        return false;
+    Entry entry;
+    entry.seg = std::make_shared<CachedSegment>(std::move(seg));
+    entry.bytes = entry.seg->memoryBytes() + key.size();
+    entry.static_bytes = entry.bytes - entry.seg->dynamicBytes();
+    entry.cost = cost;
+    Entry &stored = entries_.emplace(key, std::move(entry)).first->second;
+    bytes_used_ += stored.bytes;
+    touch(stored);
+    enforceBudget(&stored);
+    return true;
+}
+
+bool
+DeformedCodeCache::restoreTimeline(const std::string &key, CachedTimeline tl,
+                                   double cost)
+{
+    if (entries_.count(key))
+        return false;
+    Entry entry;
+    entry.tl = std::make_shared<CachedTimeline>(std::move(tl));
+    entry.static_bytes = entry.tl->memoryBytes() + key.size();
+    entry.cost = cost;
+    Entry &stored = entries_.emplace(key, std::move(entry)).first->second;
+    stored.bytes = timelineBytes(stored);
+    bytes_used_ += stored.bytes;
+    touch(stored);
+    enforceBudget(&stored);
+    return true;
+}
+
+void
 DeformedCodeCache::clear()
 {
     entries_.clear();

@@ -166,6 +166,46 @@ class DeformedCodeCache
      */
     void evictAll();
 
+    // --- Snapshot support (src/persist/cache_snapshot). Entries are pure
+    // functions of their keys, so serializing and rehydrating them can
+    // never change results — a restored entry is what get() would have
+    // built, minus the build time.
+
+    /** Visit every resident segment entry (key, contents, measured build
+     *  cost in seconds). Iteration order is the map's key order, so the
+     *  snapshot byte stream is deterministic. */
+    void forEachSegment(
+        const std::function<void(const std::string &key,
+                                 const CachedSegment &seg, double cost)> &fn)
+        const;
+
+    /** Visit every resident timeline entry (key, contents, cost). */
+    void forEachTimeline(
+        const std::function<void(const std::string &key,
+                                 const CachedTimeline &tl, double cost)> &fn)
+        const;
+
+    /** Statless lookup: the resident segment for `key`, or null. Used by
+     *  the snapshot loader to re-pin timeline epochs without perturbing
+     *  hit/miss counts or LRU stamps. */
+    std::shared_ptr<const CachedSegment>
+    peekSegment(const std::string &key) const;
+
+    /**
+     * Insert a rehydrated segment under `key` with the build cost its
+     * original build measured (the GreedyDual priority lift it earned).
+     * Normal byte accounting and budget enforcement apply; hit/miss and
+     * buildSeconds() stats do not — a restore is neither. No-op (false)
+     * when the key is already resident.
+     */
+    bool restoreSegment(const std::string &key, CachedSegment seg,
+                        double cost);
+
+    /** Timeline counterpart of restoreSegment(); epochs must already
+     *  carry their pinned `seg` pointers (resolved via peekSegment). */
+    bool restoreTimeline(const std::string &key, CachedTimeline tl,
+                         double cost);
+
   private:
     struct Entry
     {

@@ -95,6 +95,19 @@ struct ScenarioConfig
      *  decodeDeadlineNs arms a default budget below the stall, so stall
      *  plans force the ladder out of the box. */
     FaultPlan faults;
+
+    /**
+     * Warm-start persistence directory (empty = off; the
+     * SURF_PERSIST_DIR environment variable fills an empty value). When
+     * set, the run (a) restores the deformed-code cache from
+     * `<dir>/cache.snap` and rewrites it on successful completion, and
+     * (b) checkpoints completed timelines to `<dir>/run-<sig>.ckpt`
+     * after each one, resuming from the checkpoint when a compatible
+     * one exists — a killed run finishes bit-identical to an
+     * uninterrupted one. Corrupt or stale files always degrade to a
+     * cold start (counted in the run ledger), never to a wrong result.
+     */
+    std::string persistDir;
 };
 
 /** Per-epoch statistics of one timeline. */
@@ -148,6 +161,18 @@ struct ScenarioResult
     std::vector<TimelineStats> timelines;
     /** Run-wide degradation ledger (timeline ledgers merged in order). */
     DegradationLedger ledger;
+
+    // Warm-start persistence accounting (all zero without persistDir).
+    uint64_t persistRestoredSegments = 0;
+    uint64_t persistRestoredTimelines = 0;
+    uint64_t persistRestoredRows = 0;
+    uint64_t persistRejectedRecords = 0; ///< snapshot records refused
+    uint64_t persistRecoveries = 0;      ///< whole-file cold fallbacks
+    uint64_t resumedTimelines = 0;       ///< timelines from a checkpoint
+    double persistRestoreSeconds = 0.0;  ///< wall time spent restoring
+    /** cache.snap size: bytes read at restore, then bytes written at a
+     *  successful save (whichever happened last). */
+    uint64_t persistSnapshotBytes = 0;
 };
 
 /**

@@ -72,6 +72,58 @@ Circuit::appendFrameProbe(std::vector<uint32_t> qubits, PauliType basis,
     return index;
 }
 
+bool
+Circuit::appendRaw(Instruction ins)
+{
+    switch (ins.op) {
+      case Op::Detector:
+        for (uint32_t m : ins.targets)
+            if (m >= num_measurements_)
+                return false;
+        if (ins.aux > 1)
+            return false;
+        ++num_detectors_;
+        break;
+      case Op::ObservableInclude:
+        for (uint32_t m : ins.targets)
+            if (m >= num_measurements_)
+                return false;
+        num_observables_ =
+            std::max<size_t>(num_observables_, ins.aux + 1);
+        break;
+      case Op::FrameProbe:
+        for (uint32_t t : ins.targets)
+            num_qubits_ = std::max(num_qubits_, t + 1);
+        num_probes_ = std::max<size_t>(num_probes_, (ins.aux >> 2) + 1);
+        break;
+      case Op::ResetZ:
+      case Op::ResetX:
+      case Op::MeasureZ:
+      case Op::MeasureX:
+      case Op::H:
+      case Op::CX:
+      case Op::XError:
+      case Op::ZError:
+      case Op::Depolarize1:
+      case Op::Depolarize2:
+      case Op::Tick:
+        if ((ins.op == Op::CX || ins.op == Op::Depolarize2) &&
+            ins.targets.size() % 2 != 0)
+            return false;
+        if (isNoiseOp(ins.op) && !(ins.arg >= 0.0 && ins.arg <= 1.0))
+            return false;
+        for (uint32_t t : ins.targets)
+            num_qubits_ = std::max(num_qubits_, t + 1);
+        if (ins.op == Op::MeasureZ || ins.op == Op::MeasureX)
+            num_measurements_ += ins.targets.size();
+        break;
+      default:
+        return false; // unknown opcode byte in a snapshot
+    }
+    instrs_.push_back(std::move(ins));
+    return true;
+}
+
 size_t
 Circuit::countNoiseInstructions() const
 {

@@ -90,6 +90,19 @@ class Circuit
     uint32_t appendFrameProbe(std::vector<uint32_t> qubits, PauliType basis,
                               bool observable_cancel = false);
 
+    /**
+     * Replay one instruction verbatim, recomputing the qubit /
+     * measurement / detector / observable / probe bookkeeping — the
+     * snapshot-restore path (persist/). Unlike the append* builders this
+     * never aborts: structural inconsistencies (a detector referencing a
+     * future measurement, an odd pairwise-target list, an out-of-range
+     * noise probability) return false, and the paranoid loader rejects
+     * the whole record instead of trusting it.
+     * @return false when the instruction is inconsistent with the
+     *         circuit built so far (the circuit is left unchanged)
+     */
+    bool appendRaw(Instruction ins);
+
     /** Total count of noise-channel instructions. */
     size_t countNoiseInstructions() const;
 

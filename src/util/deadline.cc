@@ -99,6 +99,9 @@ DegradationLedger::merge(const DegradationLedger &other)
     injectedBursts += other.injectedBursts;
     injectedBurstDetectors += other.injectedBurstDetectors;
     cacheStorms += other.cacheStorms;
+    snapRestoredEntries += other.snapRestoredEntries;
+    snapRejectedRecords += other.snapRejectedRecords;
+    snapRecoveries += other.snapRecoveries;
 }
 
 std::string
@@ -117,6 +120,16 @@ DegradationLedger::summary() const
                   static_cast<unsigned long long>(injectedBurstDetectors),
                   static_cast<unsigned long long>(cacheStorms));
     out += line;
+    if (snapRestoredEntries || snapRejectedRecords || snapRecoveries) {
+        std::snprintf(
+            line, sizeof line,
+            "persistence: %llu entries restored, %llu records rejected, "
+            "%llu cold-rebuild recoveries\n",
+            static_cast<unsigned long long>(snapRestoredEntries),
+            static_cast<unsigned long long>(snapRejectedRecords),
+            static_cast<unsigned long long>(snapRecoveries));
+        out += line;
+    }
     for (uint8_t s = 0; s < kNumDecodeStages; ++s) {
         if (!stageAttempts[s])
             continue;

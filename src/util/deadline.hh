@@ -181,6 +181,14 @@ struct DegradationLedger
     uint64_t injectedBurstDetectors = 0;
     uint64_t cacheStorms = 0;
 
+    // Warm-start persistence accounting (src/persist; all zero when no
+    // persist directory is configured). Recovery counters record every
+    // time corrupted or stale persisted state was detected and the run
+    // degraded to a cold rebuild instead — the crash-safety contract.
+    uint64_t snapRestoredEntries = 0;  ///< cache entries rehydrated
+    uint64_t snapRejectedRecords = 0;  ///< records dropped (CRC/semantic)
+    uint64_t snapRecoveries = 0;       ///< whole-file cold fallbacks
+
     void record(const ShotLadderTrace &trace);
     void merge(const DegradationLedger &other);
     bool

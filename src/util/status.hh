@@ -33,6 +33,12 @@ enum class StatusCode : uint8_t
     kFailedPrecondition, ///< structurally inconsistent state (epoch plan)
     kDataLoss,           ///< truncated / corrupted input stream
     kInternal,           ///< invariant violation surfaced as a value
+    kCorruptSnapshot,    ///< persisted state failed validation (torn
+                         ///< write, CRC mismatch, version skew, semantic
+                         ///< inconsistency) — recover via cold rebuild
+    kAborted,            ///< run interrupted before completion (e.g. the
+                         ///< fault harness's simulated crash); persisted
+                         ///< checkpoints allow a later resume
 };
 
 /** Error-or-OK result of a checked operation. */
@@ -66,6 +72,16 @@ class Status
     {
         return {StatusCode::kInternal, std::move(msg)};
     }
+    static Status
+    corruptSnapshot(std::string msg)
+    {
+        return {StatusCode::kCorruptSnapshot, std::move(msg)};
+    }
+    static Status
+    aborted(std::string msg)
+    {
+        return {StatusCode::kAborted, std::move(msg)};
+    }
 
     bool ok() const { return code_ == StatusCode::kOk; }
     StatusCode code() const { return code_; }
@@ -92,6 +108,10 @@ class Status
             return "FAILED_PRECONDITION";
           case StatusCode::kDataLoss:
             return "DATA_LOSS";
+          case StatusCode::kCorruptSnapshot:
+            return "CORRUPT_SNAPSHOT";
+          case StatusCode::kAborted:
+            return "ABORTED";
           case StatusCode::kInternal:
           default:
             return "INTERNAL";

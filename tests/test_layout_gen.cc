@@ -93,5 +93,46 @@ TEST(LayoutGen, PlanReportsAchievedBlockProbability)
     EXPECT_LE(plan.pBlock, 0.01);
 }
 
+TEST(LayoutGen, CheckedEntriesRejectBadInputAsStatus)
+{
+    LayoutGenerator gen{DefectModelParams{}};
+
+    // Agreement with the legacy entry on valid input.
+    StatusOr<int> delta = gen.chooseDeltaDChecked(27, 0.01);
+    ASSERT_TRUE(delta.ok());
+    EXPECT_EQ(*delta, gen.chooseDeltaD(27, 0.01));
+    StatusOr<LayoutPlan> plan =
+        gen.planChecked(100, 27, InterspaceScheme::SurfDeformer, 0.01);
+    ASSERT_TRUE(plan.ok());
+    EXPECT_EQ(plan->physicalQubits,
+              gen.plan(100, 27, InterspaceScheme::SurfDeformer, 0.01)
+                  .physicalQubits);
+
+    // Out-of-range parameters come back as INVALID_ARGUMENT, not exit().
+    EXPECT_EQ(gen.chooseDeltaDChecked(2, 0.01).status().code(),
+              StatusCode::kInvalidArgument);
+    EXPECT_EQ(gen.chooseDeltaDChecked(27, 0.0).status().code(),
+              StatusCode::kInvalidArgument);
+    EXPECT_EQ(gen.chooseDeltaDChecked(27, -1.0).status().code(),
+              StatusCode::kInvalidArgument);
+    EXPECT_EQ(gen.planChecked(0, 27, InterspaceScheme::SurfDeformer)
+                  .status()
+                  .code(),
+              StatusCode::kInvalidArgument);
+    EXPECT_EQ(gen.planChecked(100, 1, InterspaceScheme::LatticeSurgery)
+                  .status()
+                  .code(),
+              StatusCode::kInvalidArgument);
+
+    // An unsatisfiable alpha_block (defect rate swamping the patch) is a
+    // diagnosable Status too — the Delta_d search is user-driven.
+    DefectModelParams hot;
+    hot.eventRatePerQubitSec = 1e9;
+    LayoutGenerator swamped{hot};
+    StatusOr<int> none = swamped.chooseDeltaDChecked(27, 1e-12);
+    ASSERT_FALSE(none.ok());
+    EXPECT_EQ(none.status().code(), StatusCode::kInvalidArgument);
+}
+
 } // namespace
 } // namespace surf

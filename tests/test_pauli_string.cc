@@ -119,6 +119,21 @@ TEST(PauliString, CssTypePredicates)
     EXPECT_TRUE(PauliString(3).isCssType(PauliType::Z));
 }
 
+TEST(PauliString, ParseRejectsBadCharactersAsStatus)
+{
+    // The checked entry surfaces malformed text as INVALID_ARGUMENT
+    // (fromString remains the fatal legacy wrapper).
+    StatusOr<PauliString> ok = PauliString::parse("-XIZZY");
+    ASSERT_TRUE(ok.ok());
+    EXPECT_EQ(ok->str(), PauliString::fromString("-XIZZY").str());
+
+    for (const char *bad : {"XQZ", "xz", "+X Z", "ZZ?"}) {
+        StatusOr<PauliString> p = PauliString::parse(bad);
+        ASSERT_FALSE(p.ok()) << bad;
+        EXPECT_EQ(p.status().code(), StatusCode::kInvalidArgument) << bad;
+    }
+}
+
 TEST(PauliString, SetPauliAdjustsYPhaseCorrectly)
 {
     PauliString p(2);
