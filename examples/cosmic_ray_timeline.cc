@@ -8,19 +8,27 @@
  *
  * Usage: example_cosmic_ray_timeline [d] [rounds] [threads] [seed]
  *                                    [deadline_ns] [persist_dir]
+ *                                    [--fab_q_rate=R] [--fab_c_rate=R]
+ *                                    [--fab_seed=S]
  * (defaults: d=7, rounds=240, threads=hardware, seed=20240610,
- *  deadline_ns=0 i.e. no per-shot decode budget, persistence off)
+ *  deadline_ns=0 i.e. no per-shot decode budget, persistence off,
+ *  fabrication rates 0 i.e. a pristine chip)
  *
  * Passing a deadline_ns arms the staged fallback ladder (sparse-blossom
  * -> memoized rows -> union-find) and prints the degradation ledger at
  * the end; setting SURF_FAULT_PLAN (e.g. "seed=3;stall.p=0.3") injects
  * deterministic decoder stalls to force it. Passing a persist_dir (or
  * setting SURF_PERSIST_DIR) snapshots the deformed-code cache there, so
- * a second invocation warm-starts its decoders from disk.
+ * a second invocation warm-starts its decoders from disk. The --fab_*
+ * flags break the chip before the run starts: defective qubits/couplers
+ * are sampled at the given rates, the strategy adapts the patch around
+ * them (bandage super-stabilizers), and every cosmic-ray deformation
+ * then stacks on top of the broken-chip baseline.
  */
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 
 #include "scenario/scenario_experiment.hh"
 #include "util/status.hh"
@@ -32,6 +40,30 @@ int
 main(int argc, char **argv)
 {
     ScenarioConfig cfg;
+
+    // Pull the --fab_* flags out first; the rest stays positional.
+    auto fabFlag = [](const char *arg, const char *name,
+                      double &out) -> bool {
+        const size_t n = std::strlen(name);
+        if (std::strncmp(arg, name, n) != 0 || arg[n] != '=')
+            return false;
+        out = std::atof(arg + n + 1);
+        return true;
+    };
+    int keep = 1;
+    double fab_seed = 0.0;
+    for (int i = 1; i < argc; ++i) {
+        if (fabFlag(argv[i], "--fab_q_rate", cfg.fabDefects.qubitRate) ||
+            fabFlag(argv[i], "--fab_c_rate", cfg.fabDefects.couplerRate))
+            continue;
+        if (fabFlag(argv[i], "--fab_seed", fab_seed)) {
+            cfg.fabDefects.seed = static_cast<uint64_t>(fab_seed);
+            continue;
+        }
+        argv[keep++] = argv[i];
+    }
+    argc = keep;
+
     cfg.timeline.strategy = Strategy::SurfDeformer;
     cfg.timeline.d = argc > 1 ? std::atoi(argv[1]) : 7;
     cfg.timeline.deltaD = 2;
@@ -80,6 +112,33 @@ main(int argc, char **argv)
         return 1;
     }
     const ScenarioResult &res = *run;
+    if (cfg.fabDefects.enabled()) {
+        std::printf("fabrication: %lu defective qubit%s + %lu defective "
+                    "coupler%s (q rate %g, c rate %g, seed %lu)\n",
+                    static_cast<unsigned long>(res.fabDefectiveQubits),
+                    res.fabDefectiveQubits == 1 ? "" : "s",
+                    static_cast<unsigned long>(res.fabDefectiveCouplers),
+                    res.fabDefectiveCouplers == 1 ? "" : "s",
+                    cfg.fabDefects.qubitRate, cfg.fabDefects.couplerRate,
+                    static_cast<unsigned long>(cfg.fabDefects.seed));
+        if (res.fabDefectiveQubits || res.fabDefectiveCouplers) {
+            if (res.fabChipAlive)
+                std::printf("  adapted chip: %lu data qubit%s disabled, "
+                            "%lu super-stabilizer cluster%s, distance "
+                            "%zu/%zu\n\n",
+                            static_cast<unsigned long>(res.fabDisabledData),
+                            res.fabDisabledData == 1 ? "" : "s",
+                            static_cast<unsigned long>(res.fabSuperClusters),
+                            res.fabSuperClusters == 1 ? "" : "s",
+                            res.fabDistX, res.fabDistZ);
+            else
+                std::printf("  chip is DEAD after adaptation (distance "
+                            "collapsed): a yield loss, every shot counts "
+                            "as a logical failure\n\n");
+        } else {
+            std::printf("  chip came out pristine at these rates\n\n");
+        }
+    }
     for (const auto &tl : res.timelines) {
         std::printf("timeline: %zu burst event%s -> %zu epoch%s\n",
                     tl.events, tl.events == 1 ? "" : "s", tl.epochs.size(),

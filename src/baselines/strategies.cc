@@ -32,9 +32,18 @@ schemeOf(Strategy s)
     return InterspaceScheme::LatticeSurgery;
 }
 
-StrategyOutcome
-applyStrategy(Strategy s, int d, int delta_d, const std::set<Coord> &defects)
+StatusOr<StrategyOutcome>
+applyStrategyChecked(Strategy s, int d, int delta_d,
+                     const std::set<Coord> &defects)
 {
+    if (d < 2 || d > 512)
+        return Status::invalidArgument(
+            "applyStrategy: code distance d=" + std::to_string(d) +
+            " out of range [2, 512]");
+    if (delta_d < 0)
+        return Status::invalidArgument(
+            "applyStrategy: delta_d must be >= 0, got " +
+            std::to_string(delta_d));
     StrategyOutcome out;
     switch (s) {
       case Strategy::LatticeSurgery:
@@ -90,7 +99,19 @@ applyStrategy(Strategy s, int d, int delta_d, const std::set<Coord> &defects)
         return out;
       }
     }
-    SURF_PANIC("unknown strategy");
+    return Status::invalidArgument(
+        "applyStrategy: unknown Strategy value " +
+        std::to_string(static_cast<int>(s)));
+}
+
+StrategyOutcome
+applyStrategy(Strategy s, int d, int delta_d, const std::set<Coord> &defects)
+{
+    StatusOr<StrategyOutcome> out = applyStrategyChecked(s, d, delta_d,
+                                                         defects);
+    if (!out.ok())
+        SURF_FATAL("applyStrategy: ", out.status().str());
+    return std::move(out.value());
 }
 
 } // namespace surf

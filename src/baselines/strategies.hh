@@ -21,6 +21,7 @@
 
 #include "core/deformation_unit.hh"
 #include "core/layout_gen.hh"
+#include "util/status.hh"
 
 namespace surf {
 
@@ -56,10 +57,18 @@ struct StrategyOutcome
 };
 
 /**
- * Apply a strategy to a distance-d patch with the given defective sites.
+ * Apply a strategy to a distance-d patch with the given defective sites,
+ * with structured error propagation: an unknown strategy value, a code
+ * distance outside [2, 512] or a negative delta_d come back as
+ * INVALID_ARGUMENT instead of aborting the process.
  *
  * @param delta_d the Surf-Deformer enlargement cap (ignored by others)
  */
+StatusOr<StrategyOutcome> applyStrategyChecked(Strategy s, int d, int delta_d,
+                                               const std::set<Coord> &defects);
+
+/** applyStrategyChecked; dies with a fatal error on invalid input
+ *  (legacy entry — new callers want the checked variant). */
 StrategyOutcome applyStrategy(Strategy s, int d, int delta_d,
                               const std::set<Coord> &defects);
 

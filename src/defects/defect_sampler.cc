@@ -124,8 +124,8 @@ DefectSampler::activeSites(const std::vector<DefectEvent> &events,
     return sweep.activeAt(cycle);
 }
 
-std::set<Coord>
-DefectSampler::sampleStaticFaults(const CodePatch &patch, int k)
+StatusOr<std::set<Coord>>
+DefectSampler::sampleStaticFaultsChecked(const CodePatch &patch, int k)
 {
     std::vector<Coord> candidates = patch.dataList();
     for (const auto &c : patch.checks())
@@ -134,15 +134,29 @@ DefectSampler::sampleStaticFaults(const CodePatch &patch, int k)
     std::sort(candidates.begin(), candidates.end());
     candidates.erase(std::unique(candidates.begin(), candidates.end()),
                      candidates.end());
-    SURF_ASSERT(k >= 0 &&
-                static_cast<size_t>(k) <= candidates.size(),
-                "more faults than qubits");
+    if (k < 0)
+        return Status::invalidArgument(
+            "static faults: k must be >= 0, got " + std::to_string(k));
+    if (static_cast<size_t>(k) > candidates.size())
+        return Status::invalidArgument(
+            "static faults: k=" + std::to_string(k) + " exceeds the " +
+            std::to_string(candidates.size()) + " physical qubits of the "
+            "patch");
     const auto idx = rng_.sampleWithoutReplacement(
         static_cast<uint32_t>(candidates.size()), static_cast<uint32_t>(k));
     std::set<Coord> out;
     for (uint32_t i : idx)
         out.insert(candidates[i]);
     return out;
+}
+
+std::set<Coord>
+DefectSampler::sampleStaticFaults(const CodePatch &patch, int k)
+{
+    StatusOr<std::set<Coord>> out = sampleStaticFaultsChecked(patch, k);
+    if (!out.ok())
+        SURF_FATAL("sampleStaticFaults: ", out.status().str());
+    return std::move(out.value());
 }
 
 } // namespace surf

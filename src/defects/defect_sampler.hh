@@ -17,6 +17,7 @@
 #include "core/layout_gen.hh"
 #include "lattice/patch.hh"
 #include "util/rng.hh"
+#include "util/status.hh"
 
 namespace surf {
 
@@ -91,8 +92,17 @@ class DefectSampler
     static std::set<Coord> activeSites(const std::vector<DefectEvent> &events,
                                        uint64_t cycle);
 
-    /** Uniformly sample k distinct static faulty sites on a patch
-     *  (data or syndrome qubits). */
+    /**
+     * Uniformly sample k distinct static faulty sites on a patch (data
+     * or syndrome qubits). Rejects k < 0 and k larger than the patch's
+     * physical qubit count as INVALID_ARGUMENT instead of aborting — k
+     * is user input in the yield sweeps.
+     */
+    StatusOr<std::set<Coord>> sampleStaticFaultsChecked(const CodePatch &patch,
+                                                        int k);
+
+    /** sampleStaticFaultsChecked; dies with a fatal error on invalid k
+     *  (legacy entry — new callers want the checked variant). */
     std::set<Coord> sampleStaticFaults(const CodePatch &patch, int k);
 
     Rng &rng() { return rng_; }

@@ -6,6 +6,7 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "defects/fab_defects.hh"
 #include "persist/snapshot.hh"
 
 namespace surf {
@@ -88,6 +89,11 @@ FaultPlan::summary() const
                       burstSize);
         out += buf;
     }
+    if (fabQubitProb > 0.0 || fabCouplerProb > 0.0) {
+        std::snprintf(buf, sizeof buf, "; fab q.p=%g c.p=%g", fabQubitProb,
+                      fabCouplerProb);
+        out += buf;
+    }
     if (snapTornFrac >= 0.0 || snapBitflipProb > 0.0 || snapStale ||
         snapKillTimelines) {
         std::snprintf(buf, sizeof buf,
@@ -129,6 +135,12 @@ validateFaultPlan(const FaultPlan &plan)
     if (plan.burstProb > 0.0 && plan.burstSize == 0)
         return Status::invalidArgument("fault plan: burst.size must be > 0 "
                                        "when burst.p > 0");
+    if (!prob_ok(plan.fabQubitProb))
+        return Status::invalidArgument("fault plan: fab.q.p must be a "
+                                       "probability in [0, 1]");
+    if (!prob_ok(plan.fabCouplerProb))
+        return Status::invalidArgument("fault plan: fab.c.p must be a "
+                                       "probability in [0, 1]");
     if (!prob_ok(plan.snapBitflipProb))
         return Status::invalidArgument("fault plan: snap.bitflip.p must be "
                                        "a probability in [0, 1]");
@@ -206,6 +218,10 @@ parseFaultPlan(const std::string &spec)
             plan.burstProb = num;
         else if (key == "burst.size")
             plan.burstSize = static_cast<uint32_t>(num);
+        else if (key == "fab.q.p")
+            plan.fabQubitProb = num;
+        else if (key == "fab.c.p")
+            plan.fabCouplerProb = num;
         else if (key == "snap.torn")
             plan.snapTornFrac = num;
         else if (key == "snap.bitflip.p")
@@ -219,8 +235,9 @@ parseFaultPlan(const std::string &spec)
                              "unknown key (expected seed, stall.p, "
                              "stall.ns, stall.stages, storm.epochs, "
                              "storm.batches, truncate.frac, corrupt.p, "
-                             "burst.p, burst.size, snap.torn, "
-                             "snap.bitflip.p, snap.stale, snap.kill)");
+                             "burst.p, burst.size, fab.q.p, fab.c.p, "
+                             "snap.torn, snap.bitflip.p, snap.stale, "
+                             "snap.kill)");
     }
     if (const Status s = validateFaultPlan(plan); !s.ok())
         return s;
@@ -329,6 +346,19 @@ FaultInjector::injectBurst(uint64_t salt, uint64_t shot, uint64_t epoch,
     std::sort(ids.begin(), ids.end());
     ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
     return ids.size() - before; // net new detectors (overlaps dedup away)
+}
+
+void
+FaultInjector::injectFabDefects(uint64_t salt, const CodePatch &patch,
+                                FabDefectSample &sample) const
+{
+    if (plan_.fabQubitProb <= 0.0 && plan_.fabCouplerProb <= 0.0)
+        return;
+    // The salt is already unique per timeline; the extra constant keeps
+    // the decision stream decorrelated from a FabDefectModel that happens
+    // to share the plan seed.
+    sampleFabInto(sample, patch, plan_.fabQubitProb, plan_.fabCouplerProb,
+                  plan_.seed, salt ^ 0xfab5a17eULL);
 }
 
 void

@@ -24,6 +24,10 @@
  *  - adversarial burst syndromes (burst.*): a contiguous run of extra
  *    fired detectors spliced into a shot's defect list ahead of decoding,
  *    the worst-case input shape for the matching backends;
+ *  - fabrication defects (fab.q.p / fab.c.p): per-timeline broken
+ *    hardware — extra defective qubits/couplers added to the scenario's
+ *    chip sample (defects/fab_defects.hh), forcing the bandage adapter
+ *    and the dead-patch yield accounting;
  *  - snapshot faults (snap.*): corruption applied to warm-start snapshot
  *    bytes as they are written (src/persist) — torn-write truncation,
  *    seeded single-bit flips, a stale format-version stamp — plus
@@ -33,8 +37,8 @@
  * SURF_FAULT_PLAN syntax: semicolon-separated key=value clauses, e.g.
  *   seed=7;stall.p=1;stall.ns=50e6;stall.stages=blossom,rows;
  *   storm.epochs=2;storm.batches=3;truncate.frac=0.5;corrupt.p=0.1;
- *   burst.p=0.05;burst.size=40;snap.torn=0.6;snap.bitflip.p=1e-4;
- *   snap.stale=1;snap.kill=3
+ *   burst.p=0.05;burst.size=40;fab.q.p=0.01;fab.c.p=0.005;
+ *   snap.torn=0.6;snap.bitflip.p=1e-4;snap.stale=1;snap.kill=3
  * Unknown keys and out-of-range values are INVALID_ARGUMENT errors.
  */
 
@@ -50,6 +54,8 @@
 #include "util/status.hh"
 
 namespace surf {
+
+struct FabDefectSample; // defects/fab_defects.hh
 
 /** Declarative fault schedule (empty = everything disabled). */
 struct FaultPlan
@@ -74,6 +80,16 @@ struct FaultPlan
     double burstProb = 0.0;  ///< per (shot, epoch)
     uint32_t burstSize = 32; ///< contiguous detectors per injected burst
 
+    // --- fabrication defects (fab.q.p / fab.c.p) ------------------------
+    // Per-timeline extra broken hardware on top of any configured
+    // FabDefectModel chip: each physical qubit / coupler of the base
+    // patch is independently defective with these probabilities, decided
+    // by pure hashes of (plan seed, timeline salt, site) — so replays of
+    // a defective chip are identical at any thread count, like every
+    // other injected fault.
+    double fabQubitProb = 0.0;   ///< per physical qubit, per timeline
+    double fabCouplerProb = 0.0; ///< per ancilla-data coupler, per timeline
+
     // --- snapshot faults (src/persist) ----------------------------------
     double snapTornFrac = -1.0;   ///< truncate written snapshots to this
                                   ///< fraction of their bytes (<0 = off);
@@ -93,6 +109,7 @@ struct FaultPlan
     {
         return stallProb > 0.0 || stormEveryEpochs || stormEveryBatches ||
                truncateFrac >= 0.0 || corruptProb > 0.0 || burstProb > 0.0 ||
+               fabQubitProb > 0.0 || fabCouplerProb > 0.0 ||
                snapTornFrac >= 0.0 || snapBitflipProb > 0.0 || snapStale ||
                snapKillTimelines;
     }
@@ -157,6 +174,16 @@ class FaultInjector
     size_t injectBurst(uint64_t salt, uint64_t shot, uint64_t epoch,
                        size_t numDetectors,
                        std::vector<uint32_t> &ids) const;
+
+    /**
+     * Add the plan's per-timeline fabrication defects (fab.q.p /
+     * fab.c.p) to a chip sample in place: every physical qubit and
+     * coupler of `patch` is independently defective by a pure hash of
+     * (plan seed, salt, site), so the same timeline always breaks the
+     * same hardware — thread-count-invariant defective-chip replays.
+     */
+    void injectFabDefects(uint64_t salt, const CodePatch &patch,
+                          FabDefectSample &sample) const;
 
     /**
      * Apply the plan's snapshot faults to a finished snapshot byte image

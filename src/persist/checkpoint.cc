@@ -59,6 +59,9 @@ writeLedger(ByteWriter &w, const DegradationLedger &led)
     w.u64(led.snapRestoredEntries);
     w.u64(led.snapRejectedRecords);
     w.u64(led.snapRecoveries);
+    w.u64(led.fabDeadPatches);
+    w.u64(led.fabAdaptedPatches);
+    w.u64(led.fabDistanceLoss);
 }
 
 bool
@@ -84,6 +87,9 @@ readLedger(ByteReader &r, DegradationLedger &led)
     led.snapRestoredEntries = r.u64();
     led.snapRejectedRecords = r.u64();
     led.snapRecoveries = r.u64();
+    led.fabDeadPatches = r.u64();
+    led.fabAdaptedPatches = r.u64();
+    led.fabDistanceLoss = r.u64();
     return r.ok();
 }
 
@@ -155,6 +161,19 @@ scenarioConfigSignature(const ScenarioConfig &cfg)
     sig.u64(cfg.timeline.windowRounds);
     sig.u64(cfg.timeline.maxEpochRounds);
     sig.u64(cfg.timeline.forceEpochBoundaries);
+    // Caller-pinned permanent defects (distinct from cfg.fabDefects,
+    // whose sites the engine derives and must not double-hash).
+    sig.u64(cfg.timeline.permanentSites.size());
+    for (const Coord &c : cfg.timeline.permanentSites) {
+        sig.u64(static_cast<uint64_t>(static_cast<int64_t>(c.x)));
+        sig.u64(static_cast<uint64_t>(static_cast<int64_t>(c.y)));
+    }
+    // Fabrication-defect chip model (canonical zeros when disabled, so a
+    // config predating the field keeps its signature).
+    const bool fab_on = cfg.fabDefects.enabled();
+    sig.f64(fab_on ? cfg.fabDefects.qubitRate : 0.0);
+    sig.f64(fab_on ? cfg.fabDefects.couplerRate : 0.0);
+    sig.u64(fab_on ? cfg.fabDefects.seed : 0);
     // Defect model + event stream.
     sig.f64(cfg.defectModel.eventRatePerQubitSec);
     sig.f64(cfg.defectModel.durationSec);
@@ -188,7 +207,8 @@ scenarioConfigSignature(const ScenarioConfig &cfg)
     const FaultPlan &f = cfg.faults;
     const bool live_faults = f.stallProb > 0.0 || f.stormEveryEpochs ||
                              f.stormEveryBatches || f.truncateFrac >= 0.0 ||
-                             f.corruptProb > 0.0 || f.burstProb > 0.0;
+                             f.corruptProb > 0.0 || f.burstProb > 0.0 ||
+                             f.fabQubitProb > 0.0 || f.fabCouplerProb > 0.0;
     sig.u64(live_faults ? f.seed : 0);
     sig.f64(live_faults ? f.stallProb : 0.0);
     sig.u64(live_faults ? f.stallNs : 0);
@@ -199,6 +219,8 @@ scenarioConfigSignature(const ScenarioConfig &cfg)
     sig.f64(live_faults ? f.corruptProb : 0.0);
     sig.f64(live_faults ? f.burstProb : 0.0);
     sig.u64(live_faults ? f.burstSize : 0);
+    sig.f64(live_faults ? f.fabQubitProb : 0.0);
+    sig.f64(live_faults ? f.fabCouplerProb : 0.0);
     // Deliberately excluded (result-invariant by the engine's contract):
     // threads, useCache, cache pointer, cacheMaxBytes/Entries,
     // mwpmRowBudget, persistDir, snap.*.

@@ -43,8 +43,9 @@ class FaultInjector;
 
 /** Container format version (layout of header/records). */
 inline constexpr uint32_t kSnapshotFormatVersion = 1;
-/** Payload ABI version: bump when any serialized struct changes. */
-inline constexpr uint32_t kSnapshotAbiVersion = 1;
+/** Payload ABI version: bump when any serialized struct changes.
+ *  v2: DegradationLedger gained the three fab* counters. */
+inline constexpr uint32_t kSnapshotAbiVersion = 2;
 /** Header size: magic (8) | format u32 | abi u32 | header crc32. */
 inline constexpr size_t kSnapshotHeaderBytes = 8 + 4 + 4 + 4;
 

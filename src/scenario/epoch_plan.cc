@@ -28,18 +28,27 @@ planEpochs(const EpochPlannerConfig &cfg,
     StrategyMemo &outcomes = memo ? *memo : local;
 
     ActiveDefectSweep sweep(events);
+    std::set<Coord> merged; // scratch: permanent ∪ window-active
     for (uint64_t t = 0; t < cfg.horizonRounds; t += cfg.windowRounds) {
         const uint64_t rounds =
             std::min<uint64_t>(cfg.windowRounds, cfg.horizonRounds - t);
-        const std::set<Coord> &active = sweep.activeAt(t);
+        const std::set<Coord> &dynamic = sweep.activeAt(t);
+        const std::set<Coord> *active = &dynamic;
+        if (!cfg.permanentSites.empty()) {
+            merged = cfg.permanentSites;
+            merged.insert(dynamic.begin(), dynamic.end());
+            active = &merged;
+        }
 
-        const std::string active_key = coordSetSignature(active);
+        const std::string active_key = coordSetSignature(*active);
         auto it = outcomes.find(active_key);
-        if (it == outcomes.end())
-            it = outcomes
-                     .emplace(active_key, applyStrategy(cfg.strategy, cfg.d,
-                                                        cfg.deltaD, active))
-                     .first;
+        if (it == outcomes.end()) {
+            StatusOr<StrategyOutcome> out = applyStrategyChecked(
+                cfg.strategy, cfg.d, cfg.deltaD, *active);
+            if (!out.ok())
+                throw StatusError(out.status());
+            it = outcomes.emplace(active_key, std::move(out.value())).first;
+        }
         const StrategyOutcome &outcome = it->second;
         plan.alive = plan.alive && outcome.alive;
 
@@ -66,7 +75,7 @@ planEpochs(const EpochPlannerConfig &cfg,
         e.deformed.distZ = outcome.distZ;
         e.deformed.alive = outcome.alive;
         e.residualDefects = outcome.residualDefects;
-        e.activeSites = active;
+        e.activeSites = *active;
         e.structSig = std::move(sig);
         plan.epochs.push_back(std::move(e));
     }

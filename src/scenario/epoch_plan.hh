@@ -39,6 +39,13 @@ struct EpochPlannerConfig
     /** Testing knob: keep an epoch boundary at every window edge even
      *  when the patch did not change (no merging). */
     bool forceEpochBoundaries = false;
+    /** Permanently defective sites (fabrication defects, already adapted
+     *  once at run start): unioned into every window's active set, so
+     *  dynamic cosmic-ray deformations stack on top of the broken-chip
+     *  baseline instead of resurrecting dead hardware. Empty on a
+     *  pristine chip — and then planning is bit-identical to a config
+     *  without this field. */
+    std::set<Coord> permanentSites;
 };
 
 /** One planned epoch: a constant deformed patch over a round range. */

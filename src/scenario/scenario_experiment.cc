@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <optional>
 
 #include <cerrno>
 #include <sys/stat.h>
@@ -539,6 +540,23 @@ validateScenarioConfig(const ScenarioConfig &cfg)
                    " out of range [2, 512]");
     if (cfg.timeline.deltaD < 0)
         return bad("deltaD must be >= 0");
+    switch (cfg.timeline.strategy) {
+      case Strategy::LatticeSurgery:
+      case Strategy::Ascs:
+      case Strategy::Q3de:
+      case Strategy::Q3deRevised:
+      case Strategy::SurfDeformer:
+        break;
+      default:
+        return bad("unknown Strategy value " +
+                   std::to_string(
+                       static_cast<int>(cfg.timeline.strategy)));
+    }
+    if (!prob_ok(cfg.fabDefects.qubitRate))
+        return bad("fabDefects.qubitRate must be a probability in [0, 1]");
+    if (!prob_ok(cfg.fabDefects.couplerRate))
+        return bad("fabDefects.couplerRate must be a probability in "
+                   "[0, 1]");
     if (cfg.timeline.horizonRounds < 1)
         return bad("horizonRounds must be >= 1 (zero-round scenarios "
                    "have no syndrome data to decode)");
@@ -738,6 +756,39 @@ runScenarioExperimentChecked(const ScenarioConfig &userCfg)
         DefectModelParams model = cfg.defectModel;
         model.eventRatePerQubitSec *= cfg.eventRateScale;
 
+        // --- Fabrication defects: sample the run's base chip once and
+        // adapt it once. When the fault plan also injects per-timeline
+        // fab defects, every timeline re-samples on top of the base chip
+        // and re-adapts (still pure functions of seeds and salts). A
+        // disabled model with no fab fault plan leaves `chip` empty and
+        // this whole layer is bit-identical to a config without it.
+        const bool fab_inject = cfg.faults.fabQubitProb > 0.0 ||
+                                cfg.faults.fabCouplerProb > 0.0;
+        FabDefectSample chip;
+        if (cfg.fabDefects.enabled()) {
+            StatusOr<FabDefectSample> sampled =
+                sampleFabDefectsChecked(base, cfg.fabDefects);
+            if (!sampled.ok())
+                return sampled.status();
+            chip = std::move(sampled.value());
+        }
+        out.fabDefectiveQubits = chip.qubits.size();
+        out.fabDefectiveCouplers = chip.couplers.size();
+        std::optional<FabAdaptation> chip_adapt;
+        if (!chip.empty()) {
+            StatusOr<FabAdaptation> adapted = adaptFabDefectsChecked(
+                cfg.timeline.strategy, cfg.timeline.d, cfg.timeline.deltaD,
+                chip);
+            if (!adapted.ok())
+                return adapted.status();
+            chip_adapt = std::move(adapted.value());
+            out.fabDisabledData = chip_adapt->disabledData;
+            out.fabSuperClusters = chip_adapt->superClusters;
+            out.fabDistX = chip_adapt->outcome.distX;
+            out.fabDistZ = chip_adapt->outcome.distZ;
+            out.fabChipAlive = chip_adapt->outcome.alive;
+        }
+
         // Resume at the first unfinished timeline. Per-timeline seeds
         // derive from t alone (not from any predecessor), so skipping
         // completed timelines reproduces the uninterrupted run exactly.
@@ -760,10 +811,49 @@ runScenarioExperimentChecked(const ScenarioConfig &userCfg)
             // sampler's own streams always pass.
             if (Status s = validateDefectStream(events, cfg); !s.ok())
                 return s;
-            const ScenarioPlan plan = planEpochs(cfg.timeline, events, &memo);
-            TimelineStats tl = runPlannedTimeline(plan, cfg, cache,
-                                                  timeline_salt,
-                                                  out.failures);
+
+            // This timeline's chip: the run's base chip plus any
+            // fault-plan-injected fabrication defects. Re-adapt only when
+            // injection can change the sample; otherwise reuse the
+            // once-adapted base chip.
+            const FabAdaptation *adapt =
+                chip_adapt ? &*chip_adapt : nullptr;
+            std::optional<FabAdaptation> tl_adapt;
+            if (fab_inject) {
+                FabDefectSample tl_sample = chip;
+                inject.injectFabDefects(timeline_salt, base, tl_sample);
+                if (!tl_sample.empty()) {
+                    StatusOr<FabAdaptation> adapted = adaptFabDefectsChecked(
+                        cfg.timeline.strategy, cfg.timeline.d,
+                        cfg.timeline.deltaD, tl_sample);
+                    if (!adapted.ok())
+                        return adapted.status();
+                    tl_adapt = std::move(adapted.value());
+                    adapt = &*tl_adapt;
+                }
+            }
+
+            TimelineStats tl;
+            if (adapt && !adapt->outcome.alive) {
+                // Dead chip: the yield contract. The adapted distance
+                // collapsed, so every shot is a deterministic logical
+                // loss — tallied, never an abort; the sweep continues on
+                // the next timeline's chip.
+                tl = deadTimeline(cfg, events.size());
+                tl.ledger.fabDeadPatches = 1;
+            } else {
+                EpochPlannerConfig tcfg = cfg.timeline;
+                if (adapt)
+                    tcfg.permanentSites.insert(adapt->disabledSites.begin(),
+                                               adapt->disabledSites.end());
+                const ScenarioPlan plan = planEpochs(tcfg, events, &memo);
+                tl = runPlannedTimeline(plan, cfg, cache, timeline_salt,
+                                        out.failures);
+                if (adapt) {
+                    tl.ledger.fabAdaptedPatches += 1;
+                    tl.ledger.fabDistanceLoss += adapt->distanceLoss;
+                }
+            }
             out.shots += tl.shots;
             out.failures += tl.failures;
             out.totalEpochs += tl.epochs.size();

@@ -29,6 +29,7 @@
 #define SURF_SCENARIO_SCENARIO_EXPERIMENT_HH
 
 #include "decode/memory_experiment.hh"
+#include "defects/fab_defects.hh"
 #include "faultinject/fault_plan.hh"
 #include "scenario/deformed_code_cache.hh"
 #include "scenario/epoch_plan.hh"
@@ -42,6 +43,21 @@ struct ScenarioConfig
 {
     EpochPlannerConfig timeline; ///< strategy, d, horizon, window, ...
     DefectModelParams defectModel;
+    /**
+     * Fabrication defects: permanently broken qubits/couplers sampled
+     * once per run (deterministically from fabDefects.seed) and adapted
+     * by the scenario's strategy into a bandage/super-stabilizer patch
+     * *before* any dynamic cosmic-ray deformation. The broken sites are
+     * permanent: every deformation window re-plans against them plus
+     * whatever burst is active (timeline.permanentSites). A chip whose
+     * adapted distance collapses is a yield loss — its timelines run as
+     * deterministic all-failure timelines (dead=true), tallied in the
+     * ledger's fab counters, and the run continues. A disabled model
+     * (both rates 0) is bit-identical to a config without this field.
+     * The fault plan's fab.q.p / fab.c.p add further per-timeline broken
+     * hardware on top of this chip sample.
+     */
+    FabDefectModel fabDefects;
     /** Scale factor on the defect event rate (0 disables events; the
      *  cosmic-ray benches crank this up so short horizons see strikes). */
     double eventRateScale = 1.0;
@@ -173,6 +189,17 @@ struct ScenarioResult
     /** cache.snap size: bytes read at restore, then bytes written at a
      *  successful save (whichever happened last). */
     uint64_t persistSnapshotBytes = 0;
+
+    // Fabrication-defect accounting (all zero when cfg.fabDefects is
+    // disabled and the fault plan injects no fab defects). The chip-level
+    // fields describe the run's base chip sample (cfg.fabDefects alone);
+    // per-timeline injected defects only show in the ledger counters.
+    uint64_t fabDefectiveQubits = 0;   ///< base chip: broken qubits
+    uint64_t fabDefectiveCouplers = 0; ///< base chip: broken couplers
+    uint64_t fabDisabledData = 0;      ///< data qubits the adapter disabled
+    uint64_t fabSuperClusters = 0;     ///< super-stabilizer clusters formed
+    size_t fabDistX = 0, fabDistZ = 0; ///< adapted base-chip distances
+    bool fabChipAlive = true;          ///< base chip survived adaptation
 };
 
 /**

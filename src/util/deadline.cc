@@ -102,6 +102,9 @@ DegradationLedger::merge(const DegradationLedger &other)
     snapRestoredEntries += other.snapRestoredEntries;
     snapRejectedRecords += other.snapRejectedRecords;
     snapRecoveries += other.snapRecoveries;
+    fabDeadPatches += other.fabDeadPatches;
+    fabAdaptedPatches += other.fabAdaptedPatches;
+    fabDistanceLoss += other.fabDistanceLoss;
 }
 
 std::string
@@ -120,6 +123,16 @@ DegradationLedger::summary() const
                   static_cast<unsigned long long>(injectedBurstDetectors),
                   static_cast<unsigned long long>(cacheStorms));
     out += line;
+    if (fabDeadPatches || fabAdaptedPatches) {
+        std::snprintf(
+            line, sizeof line,
+            "fabrication: %llu adapted patches (%llu layers of distance "
+            "lost), %llu dead patches run as yield failures\n",
+            static_cast<unsigned long long>(fabAdaptedPatches),
+            static_cast<unsigned long long>(fabDistanceLoss),
+            static_cast<unsigned long long>(fabDeadPatches));
+        out += line;
+    }
     if (snapRestoredEntries || snapRejectedRecords || snapRecoveries) {
         std::snprintf(
             line, sizeof line,

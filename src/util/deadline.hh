@@ -189,13 +189,22 @@ struct DegradationLedger
     uint64_t snapRejectedRecords = 0;  ///< records dropped (CRC/semantic)
     uint64_t snapRecoveries = 0;       ///< whole-file cold fallbacks
 
+    // Fabrication-defect accounting (src/defects/fab_defects; all zero
+    // on pristine chips). Dead patches are the yield contract: a chip
+    // whose adapted distance collapsed runs as a deterministic all-loss
+    // timeline — tallied here, never aborting the run.
+    uint64_t fabDeadPatches = 0;    ///< timelines on a dead adapted chip
+    uint64_t fabAdaptedPatches = 0; ///< timelines on a live adapted chip
+    uint64_t fabDistanceLoss = 0;   ///< cumulative d - minDist (live chips)
+
     void record(const ShotLadderTrace &trace);
     void merge(const DegradationLedger &other);
     bool
     empty() const
     {
         return ladderDecodes == 0 && injectedStalls == 0 &&
-               injectedBursts == 0 && cacheStorms == 0;
+               injectedBursts == 0 && cacheStorms == 0 &&
+               fabDeadPatches == 0 && fabAdaptedPatches == 0;
     }
     /** Multi-line human-readable summary (README "ledger fields"). */
     std::string summary() const;

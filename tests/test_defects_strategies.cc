@@ -136,6 +136,52 @@ TEST(Strategies, CharacteristicBehaviors)
     EXPECT_LT(sd.patch.numData(), q3.patch.numData()); // adaptive < fixed
 }
 
+TEST(Strategies, CheckedEntryRejectsMalformedInput)
+{
+    // The checked entry turns every abort-on-malformed shape into an
+    // INVALID_ARGUMENT: unknown strategy values, out-of-range distances,
+    // negative growth budgets. Well-formed input matches the legacy
+    // entry exactly.
+    EXPECT_EQ(applyStrategyChecked(static_cast<Strategy>(200), 5, 2, {})
+                  .status()
+                  .code(),
+              StatusCode::kInvalidArgument);
+    EXPECT_EQ(applyStrategyChecked(Strategy::SurfDeformer, 1, 2, {})
+                  .status()
+                  .code(),
+              StatusCode::kInvalidArgument);
+    EXPECT_EQ(applyStrategyChecked(Strategy::SurfDeformer, 1024, 2, {})
+                  .status()
+                  .code(),
+              StatusCode::kInvalidArgument);
+    EXPECT_EQ(applyStrategyChecked(Strategy::SurfDeformer, 5, -1, {})
+                  .status()
+                  .code(),
+              StatusCode::kInvalidArgument);
+
+    const auto ok =
+        applyStrategyChecked(Strategy::SurfDeformer, 5, 2, {Coord{5, 5}});
+    ASSERT_TRUE(ok.ok());
+    const auto legacy =
+        applyStrategy(Strategy::SurfDeformer, 5, 2, {Coord{5, 5}});
+    EXPECT_EQ(ok->distX, legacy.distX);
+    EXPECT_EQ(ok->distZ, legacy.distZ);
+    EXPECT_EQ(ok->alive, legacy.alive);
+}
+
+TEST(DefectSampler, CheckedStaticFaultsRejectsBadCounts)
+{
+    DefectSampler sampler(DefectModelParams{}, 11);
+    const CodePatch p = squarePatch(3);
+    EXPECT_EQ(sampler.sampleStaticFaultsChecked(p, -1).status().code(),
+              StatusCode::kInvalidArgument);
+    EXPECT_EQ(sampler.sampleStaticFaultsChecked(p, 100000).status().code(),
+              StatusCode::kInvalidArgument);
+    const auto ok = sampler.sampleStaticFaultsChecked(p, 3);
+    ASSERT_TRUE(ok.ok());
+    EXPECT_EQ(ok->size(), 3u);
+}
+
 TEST(Strategies, SurfDeformerBeatsAscsOnDistance)
 {
     // Across several random bursts, SD's restored distance never falls
